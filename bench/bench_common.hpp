@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Every bench accepts two environment overrides:
+ *   RETCON_SCALE    input-size multiplier (default 0.5)
+ *   RETCON_THREADS  simulated core count  (default 32, as in Table 1)
+ */
+
+#ifndef RETCON_BENCH_COMMON_HPP
+#define RETCON_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/runner.hpp"
+
+namespace retcon::bench {
+
+inline double
+envScale()
+{
+    const char *s = std::getenv("RETCON_SCALE");
+    return s ? std::atof(s) : 0.4;
+}
+
+inline unsigned
+envThreads()
+{
+    const char *s = std::getenv("RETCON_THREADS");
+    return s ? static_cast<unsigned>(std::atoi(s)) : 32;
+}
+
+inline api::RunConfig
+baseConfig(const std::string &workload)
+{
+    api::RunConfig cfg;
+    cfg.workload = workload;
+    cfg.nthreads = envThreads();
+    cfg.scale = envScale();
+    return cfg;
+}
+
+inline void
+printHeader(const char *experiment, const char *paper_ref)
+{
+    std::printf("==================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("machine: %u cores, scale %.2f "
+                "(RETCON_THREADS / RETCON_SCALE to override)\n",
+                envThreads(), envScale());
+    std::printf("==================================================\n");
+}
+
+inline void
+flagInvalid(const api::RunResult &r, const std::string &workload)
+{
+    if (!r.validation.ok)
+        std::printf("!! %s failed validation: %s\n", workload.c_str(),
+                    r.validation.note.c_str());
+}
+
+} // namespace retcon::bench
+
+#endif // RETCON_BENCH_COMMON_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 2: qualitative comparison of RETCON, DATM, EagerTM,
+ * EagerTM-Stall, and LazyTM on the shared-counter microbenchmark (two
+ * processors, each performing repeated increments of one counter).
+ *
+ * Reproduces the figure's story quantitatively:
+ *  - RETCON commits both transactions with *zero* aborts, repairing
+ *    the counter at commit;
+ *  - DATM forwards values but aborts on the cyclic dependence;
+ *  - EagerTM (requester-loses) suffers repeated aborts;
+ *  - EagerTM-Stall (oldest-wins) stalls the younger processor;
+ *  - LazyTM aborts the loser at the winner's commit.
+ */
+
+#include "bench_common.hpp"
+#include "exec/cluster.hpp"
+
+using namespace retcon;
+using namespace retcon::bench;
+using namespace retcon::exec;
+
+namespace {
+
+constexpr Addr kCounter = 0x40000;
+
+Task<TxValue>
+doubleIncrement(Tx &tx)
+{
+    // Two increments per transaction, as in Figure 2.
+    TxValue v = co_await tx.load(kCounter);
+    v = tx.add(v, 1);
+    co_await tx.store(kCounter, v);
+    co_await tx.work(40);
+    TxValue w = co_await tx.load(kCounter);
+    w = tx.add(w, 1);
+    co_await tx.store(kCounter, w);
+    co_return w;
+}
+
+Task<void>
+threadMain(WorkerCtx &ctx, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await ctx.txn([](Tx &tx) { return doubleIncrement(tx); });
+        co_await ctx.work(10);
+    }
+    co_await ctx.barrier();
+}
+
+struct Row {
+    const char *label;
+    htm::TMMode mode;
+    htm::CMPolicy policy;
+};
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 2: conflict-handling comparison on a shared "
+                "counter",
+                "RETCON (ISCA 2010), Figure 2");
+    const int iters = 50;
+    const Row rows[] = {
+        {"RetCon (a)", htm::TMMode::Retcon, htm::CMPolicy::OldestWins},
+        {"DATM (b)", htm::TMMode::DATM, htm::CMPolicy::OldestWins},
+        {"EagerTM (c)", htm::TMMode::Eager,
+         htm::CMPolicy::RequesterLoses},
+        {"EagerTM-Stall (d)", htm::TMMode::Eager,
+         htm::CMPolicy::OldestWins},
+        {"LazyTM (e)", htm::TMMode::Lazy, htm::CMPolicy::OldestWins},
+    };
+
+    std::printf("%-18s %10s %8s %8s %8s %10s\n", "configuration",
+                "cycles", "commits", "aborts", "stalls", "final");
+    for (const Row &row : rows) {
+        ClusterConfig cfg;
+        cfg.numThreads = 2;
+        cfg.tm.mode = row.mode;
+        cfg.tm.cmPolicy = row.policy;
+        Cluster cluster(cfg);
+        // Pre-train the predictor so RETCON tracks the counter from
+        // the first transaction (as after warmup).
+        cluster.machine().predictor().observeConflict(
+            blockAddr(kCounter));
+        cluster.start([&](WorkerCtx &ctx) {
+            return threadMain(ctx, iters);
+        });
+        Cycle end = cluster.run();
+        Word final_value = cluster.memory().readWord(kCounter);
+        const auto &ms = cluster.machine().stats();
+        std::printf("%-18s %10llu %8llu %8llu %8llu %10llu%s\n",
+                    row.label, static_cast<unsigned long long>(end),
+                    static_cast<unsigned long long>(ms.commits),
+                    static_cast<unsigned long long>(ms.aborts),
+                    static_cast<unsigned long long>(ms.nacks),
+                    static_cast<unsigned long long>(final_value),
+                    final_value == Word(2 * 2 * iters) ? ""
+                                                       : "  (WRONG)");
+    }
+    std::printf("(final must be %d in every row: isolation holds in "
+                "all modes)\n",
+                2 * 2 * iters);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * event queue throughput, cache tag lookups, interval constraint
+ * recording, IVB/SSB operations, and predictor queries. These bound
+ * the host-side cost per simulated memory operation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hpp"
+#include "retcon/constraint_buffer.hpp"
+#include "retcon/ivb.hpp"
+#include "retcon/predictor.hpp"
+#include "retcon/ssb.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+using namespace retcon;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_CacheInsertLookup(benchmark::State &state)
+{
+    mem::SetAssocCache cache({64 * 1024, 4});
+    Xoshiro rng(7);
+    for (auto _ : state) {
+        Addr block = blockAddr(rng.below(1 << 20) * kBlockBytes);
+        cache.insert(block);
+        benchmark::DoNotOptimize(cache.contains(block));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertLookup);
+
+static void
+BM_IntervalConstrain(benchmark::State &state)
+{
+    Xoshiro rng(11);
+    for (auto _ : state) {
+        rtc::Interval iv;
+        for (int i = 0; i < 8; ++i)
+            iv.constrain(static_cast<rtc::CmpOp>(rng.below(6)),
+                         static_cast<std::int64_t>(rng.below(100)));
+        benchmark::DoNotOptimize(iv.contains(50));
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_IntervalConstrain);
+
+static void
+BM_IvbAllocateFind(benchmark::State &state)
+{
+    std::array<Word, kWordsPerBlock> words{};
+    for (auto _ : state) {
+        rtc::InitialValueBuffer ivb(16);
+        for (Addr b = 0; b < 16; ++b)
+            ivb.allocate(b * kBlockBytes, words);
+        for (Addr b = 0; b < 16; ++b)
+            benchmark::DoNotOptimize(ivb.find(b * kBlockBytes));
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_IvbAllocateFind);
+
+static void
+BM_SsbPutForward(benchmark::State &state)
+{
+    for (auto _ : state) {
+        rtc::SymbolicStoreBuffer ssb(32);
+        for (Addr w = 0; w < 32; ++w)
+            ssb.put(w * 8, w, rtc::SymTag{0x1000, 1, 8}, 8);
+        for (Addr w = 0; w < 32; ++w)
+            benchmark::DoNotOptimize(ssb.find(w * 8));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SsbPutForward);
+
+static void
+BM_PredictorQuery(benchmark::State &state)
+{
+    rtc::ConflictPredictor pred;
+    for (Addr b = 0; b < 256; ++b)
+        pred.observeConflict(b * kBlockBytes);
+    Xoshiro rng(13);
+    for (auto _ : state) {
+        Addr b = blockAddr(rng.below(512) * kBlockBytes);
+        benchmark::DoNotOptimize(pred.shouldTrack(b));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorQuery);
+
+BENCHMARK_MAIN();

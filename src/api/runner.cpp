@@ -1,0 +1,100 @@
+#include "api/runner.hpp"
+
+#include "sim/logging.hpp"
+
+namespace retcon::api {
+
+htm::TMConfig
+eagerConfig()
+{
+    htm::TMConfig cfg;
+    cfg.mode = htm::TMMode::Eager;
+    cfg.cmPolicy = htm::CMPolicy::OldestWins;
+    return cfg;
+}
+
+htm::TMConfig
+lazyVbConfig()
+{
+    htm::TMConfig cfg = eagerConfig();
+    cfg.mode = htm::TMMode::LazyVB;
+    return cfg;
+}
+
+htm::TMConfig
+retconConfig()
+{
+    htm::TMConfig cfg = eagerConfig();
+    cfg.mode = htm::TMMode::Retcon;
+    return cfg;
+}
+
+htm::TMConfig
+serialConfig()
+{
+    htm::TMConfig cfg;
+    cfg.mode = htm::TMMode::Serial;
+    return cfg;
+}
+
+std::vector<ConfigPoint>
+paperConfigs()
+{
+    return {
+        {"eager", eagerConfig()},
+        {"lazy-vb", lazyVbConfig()},
+        {"RetCon", retconConfig()},
+    };
+}
+
+RunResult
+runOnce(const RunConfig &cfg)
+{
+    workloads::WorkloadParams params;
+    params.nthreads = cfg.nthreads;
+    params.seed = cfg.seed;
+    params.scale = cfg.scale;
+    auto workload = workloads::makeWorkload(cfg.workload, params);
+
+    exec::ClusterConfig ccfg;
+    ccfg.numThreads = cfg.nthreads;
+    ccfg.seed = cfg.seed;
+    ccfg.tm = cfg.tm;
+    ccfg.maxCycles = cfg.maxCycles;
+
+    exec::Cluster cluster(ccfg);
+    workload->setup(cluster);
+    cluster.start(workload->program());
+
+    RunResult result;
+    result.cycles = cluster.run();
+    result.breakdown = cluster.aggregateBreakdown();
+    result.coreStats = cluster.aggregateStats();
+    result.machineStats = cluster.machine().stats();
+    result.validation = workload->validate(cluster);
+    if (!result.validation.ok) {
+        warn("workload %s failed validation: %s", cfg.workload.c_str(),
+             result.validation.note.c_str());
+    }
+    return result;
+}
+
+Cycle
+sequentialCycles(const RunConfig &cfg)
+{
+    RunConfig seq = cfg;
+    seq.nthreads = 1;
+    seq.tm = serialConfig();
+    return runOnce(seq).cycles;
+}
+
+double
+speedupOverSequential(const RunConfig &cfg)
+{
+    Cycle seq = sequentialCycles(cfg);
+    RunResult par = runOnce(cfg);
+    sim_assert(par.cycles > 0, "zero-cycle run");
+    return static_cast<double>(seq) / static_cast<double>(par.cycles);
+}
+
+} // namespace retcon::api

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Public experiment API: run a Table 2 workload on the Table 1 machine
+ * under a chosen TM configuration and collect everything the paper's
+ * figures and tables report.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   api::RunConfig cfg;
+ *   cfg.workload = "python_opt";
+ *   cfg.tm = api::retconConfig();
+ *   api::RunResult r = api::runOnce(cfg);
+ *   double speedup = api::speedupOverSequential(cfg);
+ */
+
+#ifndef RETCON_API_RUNNER_HPP
+#define RETCON_API_RUNNER_HPP
+
+#include <string>
+
+#include "exec/cluster.hpp"
+#include "htm/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace retcon::api {
+
+/** One experiment run description. */
+struct RunConfig {
+    std::string workload = "genome";
+    unsigned nthreads = 32;
+    htm::TMConfig tm{};
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    Cycle maxCycles = 2'000'000'000ull;
+};
+
+/** Everything a run produces. */
+struct RunResult {
+    Cycle cycles = 0;
+    exec::TimeBreakdown breakdown;
+    exec::CoreStats coreStats;
+    htm::MachineStats machineStats;
+    workloads::ValidationResult validation;
+};
+
+/** Baseline HTM of §2: eager + oldest-wins. */
+htm::TMConfig eagerConfig();
+
+/** The paper's lazy-vb variant (§5.1). */
+htm::TMConfig lazyVbConfig();
+
+/** Full RETCON (Table 1 structure sizes, §4.4 optimizations). */
+htm::TMConfig retconConfig();
+
+/** Global-lock serialization (the sequential baseline substrate). */
+htm::TMConfig serialConfig();
+
+/** Execute one run (setup, simulate, validate). fatal()s on deadlock. */
+RunResult runOnce(const RunConfig &cfg);
+
+/**
+ * Run the sequential baseline for @p cfg's workload (1 thread, Serial)
+ * and return its makespan in cycles.
+ */
+Cycle sequentialCycles(const RunConfig &cfg);
+
+/** Makespan speedup of @p cfg over the sequential baseline. */
+double speedupOverSequential(const RunConfig &cfg);
+
+/** Name -> config for the three Figure 9/10 machine configurations. */
+struct ConfigPoint {
+    const char *label;
+    htm::TMConfig tm;
+};
+std::vector<ConfigPoint> paperConfigs();
+
+} // namespace retcon::api
+
+#endif // RETCON_API_RUNNER_HPP

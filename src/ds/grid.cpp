@@ -1,0 +1,45 @@
+#include "ds/grid.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+
+namespace retcon::ds {
+
+SimGrid
+SimGrid::create(mem::SparseMemory &mem, SimAllocator &alloc, Word x,
+                Word y, Word z)
+{
+    SimGrid g;
+    g._x = x;
+    g._y = y;
+    g._z = z;
+    g._base = alloc.allocShared(x * y * z * kWordBytes);
+    for (Word i = 0; i < x * y * z; ++i)
+        mem.writeWord(g._base + i * kWordBytes, 0);
+    return g;
+}
+
+Task<TxValue>
+SimGrid::claimPath(Tx &tx, const std::vector<Word> &cells, Word path_id)
+{
+    for (Word idx : cells) {
+        TxValue v = co_await tx.load(cellAddr(idx));
+        if (tx.cmp(v, rtc::CmpOp::NE, 0))
+            co_return TxValue(0); // Cell taken: semantic conflict.
+    }
+    for (Word idx : cells)
+        co_await tx.store(cellAddr(idx), TxValue(path_id));
+    co_return TxValue(1);
+}
+
+Word
+SimGrid::hostClaimedCells(const mem::SparseMemory &mem) const
+{
+    Word n = 0;
+    for (Word i = 0; i < cells(); ++i)
+        n += mem.readWord(_base + i * kWordBytes) != 0;
+    return n;
+}
+
+} // namespace retcon::ds

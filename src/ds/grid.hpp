@@ -1,0 +1,68 @@
+/**
+ * @file
+ * 3D routing grid (the labyrinth model).
+ *
+ * The grid is a dense array of words: 0 = free, otherwise the id of the
+ * path occupying the cell. Following the paper's restructuring, the
+ * router copies the grid *before* the transaction (plain loads) and
+ * computes a path privately; the transaction then revalidates and
+ * claims the path cells. Conflicts only arise when concurrent paths
+ * overlap, which is rare on a sparse grid — labyrinth's bottleneck is
+ * load imbalance (long, variable-length routes), not conflicts.
+ */
+
+#ifndef RETCON_DS_GRID_HPP
+#define RETCON_DS_GRID_HPP
+
+#include <vector>
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** A handle to a 3D grid in simulated memory. */
+class SimGrid
+{
+  public:
+    SimGrid() = default;
+
+    static SimGrid create(mem::SparseMemory &mem, SimAllocator &alloc,
+                          Word x, Word y, Word z);
+
+    Word cells() const { return _x * _y * _z; }
+    Addr cellAddr(Word idx) const { return _base + idx * kWordBytes; }
+
+    Word
+    index(Word cx, Word cy, Word cz) const
+    {
+        return (cz * _y + cy) * _x + cx;
+    }
+
+    Word xDim() const { return _x; }
+    Word yDim() const { return _y; }
+    Word zDim() const { return _z; }
+
+    /**
+     * Claim the cells of a path atomically: each cell is loaded,
+     * checked free, and stamped with @p path_id. @return 1 on success,
+     * 0 when some cell was already taken (the route must be redone).
+     */
+    exec::Task<exec::TxValue> claimPath(exec::Tx &tx,
+                                        const std::vector<Word> &cells,
+                                        Word path_id);
+
+    /** Number of cells stamped with a nonzero id (host-side). */
+    Word hostClaimedCells(const mem::SparseMemory &mem) const;
+
+  private:
+    Addr _base = 0;
+    Word _x = 0, _y = 0, _z = 0;
+};
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_GRID_HPP

@@ -1,0 +1,239 @@
+#include "ds/hashtable.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+
+namespace retcon::ds {
+
+SimHashtable
+SimHashtable::create(mem::SparseMemory &mem, SimAllocator &alloc,
+                     Word num_buckets, bool resizable)
+{
+    Addr base = alloc.allocShared(kBlockBytes);
+    Addr array = alloc.allocShared(num_buckets * kWordBytes);
+    mem.writeWord(base + kNumBuckets * kWordBytes, num_buckets);
+    mem.writeWord(base + kSize * kWordBytes, 0);
+    mem.writeWord(base + kThreshold * kWordBytes,
+                  num_buckets * kLoadFactor);
+    mem.writeWord(base + kArrayPtr * kWordBytes, array);
+    mem.writeWord(base + kResizable * kWordBytes, resizable ? 1 : 0);
+    for (Word b = 0; b < num_buckets; ++b)
+        mem.writeWord(array + b * kWordBytes, 0);
+    return SimHashtable(base, &alloc);
+}
+
+Task<TxValue>
+SimHashtable::insert(Tx &tx, unsigned tid, Word key, Word value)
+{
+    // Header reads: bucket count and array pointer feed address
+    // computation, so symbolic tracking pins them with equality
+    // constraints — a remote resize correctly forces an abort.
+    TxValue nbv = co_await tx.load(headerWord(kNumBuckets));
+    Word num_buckets = tx.reify(nbv);
+    TxValue arrv = co_await tx.load(headerWord(kArrayPtr));
+    Addr array = tx.reify(arrv);
+
+    Addr bucket = array + (hashKey(key) % num_buckets) * kWordBytes;
+    TxValue headv = co_await tx.load(bucket);
+    Addr node = tx.reify(headv);
+
+    while (node != 0) {
+        TxValue kv = co_await tx.load(node + kNodeKey * kWordBytes);
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key)))
+            co_return TxValue(0); // Already present.
+        TxValue nxt = co_await tx.load(node + kNodeNext * kWordBytes);
+        node = tx.reify(nxt);
+    }
+
+    // Link a fresh node at the head of the chain.
+    Addr fresh = _alloc->alloc(tid, kNodeBytes);
+    co_await tx.store(fresh + kNodeKey * kWordBytes, TxValue(key));
+    co_await tx.store(fresh + kNodeValue * kWordBytes, TxValue(value));
+    co_await tx.store(fresh + kNodeNext * kWordBytes, headv);
+    co_await tx.store(bucket, TxValue(fresh));
+
+    TxValue rsz = co_await tx.load(headerWord(kResizable));
+    if (tx.cmp(rsz, rtc::CmpOp::NE, 0)) {
+        // Maintain the shared size field (the paper's conflict magnet:
+        // pure +1 update, symbolically repairable).
+        TxValue sz = co_await tx.load(headerWord(kSize));
+        TxValue sz1 = tx.add(sz, 1);
+        co_await tx.store(headerWord(kSize), sz1);
+
+        // Resize check: a highly biased branch on the symbolic size,
+        // captured as an interval constraint (§4: control flow is
+        // insensitive to the exact value in a well-configured table).
+        TxValue thr = co_await tx.load(headerWord(kThreshold));
+        if (tx.cmpv(sz1, rtc::CmpOp::GT, thr))
+            co_await resize(tx, tid);
+    }
+    co_return TxValue(1);
+}
+
+Task<TxValue>
+SimHashtable::resize(Tx &tx, unsigned tid)
+{
+    // Grow to 2x buckets and rehash every chain. This transaction
+    // touches the entire table: it conflicts with everything, which is
+    // exactly the cost the paper attributes to resizable hashtables.
+    TxValue nbv = co_await tx.load(headerWord(kNumBuckets));
+    Word old_buckets = tx.reify(nbv);
+    TxValue arrv = co_await tx.load(headerWord(kArrayPtr));
+    Addr old_array = tx.reify(arrv);
+
+    Word new_buckets = old_buckets * 2;
+    Addr new_array = _alloc->alloc(tid, new_buckets * kWordBytes);
+    for (Word b = 0; b < new_buckets; ++b)
+        co_await tx.store(new_array + b * kWordBytes, TxValue(0));
+
+    for (Word b = 0; b < old_buckets; ++b) {
+        TxValue headv = co_await tx.load(old_array + b * kWordBytes);
+        Addr node = tx.reify(headv);
+        while (node != 0) {
+            TxValue kv = co_await tx.load(node + kNodeKey * kWordBytes);
+            Word key = tx.reify(kv);
+            TxValue nxt =
+                co_await tx.load(node + kNodeNext * kWordBytes);
+            Addr next = tx.reify(nxt);
+            Addr nb = new_array +
+                      (hashKey(key) % new_buckets) * kWordBytes;
+            TxValue nh = co_await tx.load(nb);
+            co_await tx.store(node + kNodeNext * kWordBytes, nh);
+            co_await tx.store(nb, TxValue(node));
+            node = next;
+        }
+    }
+
+    co_await tx.store(headerWord(kNumBuckets), TxValue(new_buckets));
+    co_await tx.store(headerWord(kArrayPtr), TxValue(new_array));
+    co_await tx.store(headerWord(kThreshold),
+                      TxValue(new_buckets * kLoadFactor));
+    co_return TxValue(1);
+}
+
+Task<TxValue>
+SimHashtable::lookup(Tx &tx, Word key)
+{
+    TxValue nbv = co_await tx.load(headerWord(kNumBuckets));
+    Word num_buckets = tx.reify(nbv);
+    TxValue arrv = co_await tx.load(headerWord(kArrayPtr));
+    Addr array = tx.reify(arrv);
+
+    Addr bucket = array + (hashKey(key) % num_buckets) * kWordBytes;
+    TxValue headv = co_await tx.load(bucket);
+    Addr node = tx.reify(headv);
+
+    while (node != 0) {
+        TxValue kv = co_await tx.load(node + kNodeKey * kWordBytes);
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key))) {
+            TxValue val =
+                co_await tx.load(node + kNodeValue * kWordBytes);
+            co_return tx.add(val, 1);
+        }
+        TxValue nxt = co_await tx.load(node + kNodeNext * kWordBytes);
+        node = tx.reify(nxt);
+    }
+    co_return TxValue(0);
+}
+
+Task<TxValue>
+SimHashtable::remove(Tx &tx, Word key)
+{
+    TxValue nbv = co_await tx.load(headerWord(kNumBuckets));
+    Word num_buckets = tx.reify(nbv);
+    TxValue arrv = co_await tx.load(headerWord(kArrayPtr));
+    Addr array = tx.reify(arrv);
+
+    Addr bucket = array + (hashKey(key) % num_buckets) * kWordBytes;
+    Addr prev = 0; // 0 = bucket head.
+    TxValue headv = co_await tx.load(bucket);
+    Addr node = tx.reify(headv);
+
+    while (node != 0) {
+        TxValue kv = co_await tx.load(node + kNodeKey * kWordBytes);
+        TxValue nxt = co_await tx.load(node + kNodeNext * kWordBytes);
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key))) {
+            if (prev == 0)
+                co_await tx.store(bucket, nxt);
+            else
+                co_await tx.store(prev + kNodeNext * kWordBytes, nxt);
+            TxValue rsz = co_await tx.load(headerWord(kResizable));
+            if (tx.cmp(rsz, rtc::CmpOp::NE, 0)) {
+                TxValue sz = co_await tx.load(headerWord(kSize));
+                co_await tx.store(headerWord(kSize), tx.sub(sz, 1));
+            }
+            co_return TxValue(1);
+        }
+        prev = node;
+        node = tx.reify(nxt);
+    }
+    co_return TxValue(0);
+}
+
+void
+SimHashtable::hostInsert(mem::SparseMemory &mem, Word key, Word value)
+{
+    Word num_buckets = mem.readWord(headerWord(kNumBuckets));
+    Addr array = mem.readWord(headerWord(kArrayPtr));
+    Addr bucket = array + (hashKey(key) % num_buckets) * kWordBytes;
+    Addr node = mem.readWord(bucket);
+    while (node != 0) {
+        if (mem.readWord(node + kNodeKey * kWordBytes) == key)
+            return;
+        node = mem.readWord(node + kNodeNext * kWordBytes);
+    }
+    Addr fresh = _alloc->allocShared(kNodeBytes);
+    mem.writeWord(fresh + kNodeKey * kWordBytes, key);
+    mem.writeWord(fresh + kNodeValue * kWordBytes, value);
+    mem.writeWord(fresh + kNodeNext * kWordBytes, mem.readWord(bucket));
+    mem.writeWord(bucket, fresh);
+    if (mem.readWord(headerWord(kResizable)))
+        mem.writeWord(headerWord(kSize),
+                      mem.readWord(headerWord(kSize)) + 1);
+}
+
+bool
+SimHashtable::hostContains(const mem::SparseMemory &mem, Word key) const
+{
+    Word num_buckets = mem.readWord(headerWord(kNumBuckets));
+    Addr array = mem.readWord(headerWord(kArrayPtr));
+    Addr bucket = array + (hashKey(key) % num_buckets) * kWordBytes;
+    Addr node = mem.readWord(bucket);
+    while (node != 0) {
+        if (mem.readWord(node + kNodeKey * kWordBytes) == key)
+            return true;
+        node = mem.readWord(node + kNodeNext * kWordBytes);
+    }
+    return false;
+}
+
+Word
+SimHashtable::hostSize(const mem::SparseMemory &mem) const
+{
+    return mem.readWord(headerWord(kSize));
+}
+
+Word
+SimHashtable::hostNumBuckets(const mem::SparseMemory &mem) const
+{
+    return mem.readWord(headerWord(kNumBuckets));
+}
+
+Word
+SimHashtable::hostCountNodes(const mem::SparseMemory &mem) const
+{
+    Word num_buckets = mem.readWord(headerWord(kNumBuckets));
+    Addr array = mem.readWord(headerWord(kArrayPtr));
+    Word count = 0;
+    for (Word b = 0; b < num_buckets; ++b) {
+        Addr node = mem.readWord(array + b * kWordBytes);
+        while (node != 0) {
+            ++count;
+            node = mem.readWord(node + kNodeNext * kWordBytes);
+        }
+    }
+    return count;
+}
+
+} // namespace retcon::ds

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Chained hashtable in simulated memory (the STAMP hashtable model).
+ *
+ * Layout:
+ *   header block:  [0] numBuckets  [1] size  [2] resizeThreshold
+ *                  [3] bucketArrayPtr  [4] resizable flag
+ *   bucket array:  numBuckets words of chain-head pointers
+ *   node:          [0] key  [1] value  [2] next
+ *
+ * The shared `size` word is the paper's flagship repairable conflict:
+ * every insert executes load/add-1/store on it, and the resize check
+ * branches on it — a highly biased branch that becomes an interval
+ * constraint under RETCON. With `resizable` false the size word is not
+ * maintained at all (STAMP's default non-resizable hashtable), which is
+ * why the fixed-size variants scale even on the baseline.
+ */
+
+#ifndef RETCON_DS_HASHTABLE_HPP
+#define RETCON_DS_HASHTABLE_HPP
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** Mix a key into a hash (splitmix64 finalizer). */
+constexpr Word
+hashKey(Word k)
+{
+    k += 0x9e3779b97f4a7c15ull;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return k ^ (k >> 31);
+}
+
+/** A handle to a hashtable living in simulated memory. */
+class SimHashtable
+{
+  public:
+    /** Header word indices. */
+    static constexpr unsigned kNumBuckets = 0;
+    static constexpr unsigned kSize = 1;
+    static constexpr unsigned kThreshold = 2;
+    static constexpr unsigned kArrayPtr = 3;
+    static constexpr unsigned kResizable = 4;
+
+    /** Node word indices. */
+    static constexpr unsigned kNodeKey = 0;
+    static constexpr unsigned kNodeValue = 1;
+    static constexpr unsigned kNodeNext = 2;
+    static constexpr Addr kNodeBytes = 3 * kWordBytes;
+
+    /** Growth trigger: resize when size > buckets * kLoadFactor. */
+    static constexpr Word kLoadFactor = 4;
+
+    SimHashtable() = default;
+    SimHashtable(Addr base, SimAllocator *alloc)
+        : _base(base), _alloc(alloc)
+    {}
+
+    /** Functionally create a table (setup phase, zero simulated time). */
+    static SimHashtable create(mem::SparseMemory &mem, SimAllocator &alloc,
+                               Word num_buckets, bool resizable);
+
+    Addr base() const { return _base; }
+
+    // ---- Transactional operations (timed, conflict-detected) --------
+    /**
+     * Insert key -> value. @return 1 when inserted, 0 when the key was
+     * already present.
+     */
+    exec::Task<exec::TxValue> insert(exec::Tx &tx, unsigned tid, Word key,
+                                     Word value);
+
+    /** Look up key. @return value+1 when found, 0 when absent. */
+    exec::Task<exec::TxValue> lookup(exec::Tx &tx, Word key);
+
+    /** Remove key. @return 1 when removed, 0 when absent. */
+    exec::Task<exec::TxValue> remove(exec::Tx &tx, Word key);
+
+    // ---- Functional (host-side) helpers for setup & validation ------
+    void hostInsert(mem::SparseMemory &mem, Word key, Word value);
+    bool hostContains(const mem::SparseMemory &mem, Word key) const;
+    Word hostSize(const mem::SparseMemory &mem) const;
+    Word hostNumBuckets(const mem::SparseMemory &mem) const;
+    /** Count reachable nodes by walking every chain. */
+    Word hostCountNodes(const mem::SparseMemory &mem) const;
+
+  private:
+    Addr _base = 0;
+    SimAllocator *_alloc = nullptr;
+
+    Addr headerWord(unsigned idx) const { return _base + idx * kWordBytes; }
+
+    /** The resize transaction body (grow + rehash). */
+    exec::Task<exec::TxValue> resize(exec::Tx &tx, unsigned tid);
+};
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_HASHTABLE_HPP

@@ -1,0 +1,82 @@
+#include "ds/mesh.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+
+namespace retcon::ds {
+
+SimMesh
+SimMesh::create(mem::SparseMemory &mem, SimAllocator &alloc,
+                Word num_nodes, unsigned bad_fraction_pct, Xoshiro &rng)
+{
+    SimMesh mesh;
+    mesh._nodes.reserve(num_nodes);
+    for (Word i = 0; i < num_nodes; ++i)
+        mesh._nodes.push_back(alloc.allocShared(kBlockBytes));
+
+    for (Word i = 0; i < num_nodes; ++i) {
+        Addr n = mesh._nodes[i];
+        // Ring edges keep the mesh connected; the rest are random,
+        // giving the irregular sharing pattern of a refinement mesh.
+        mem.writeWord(n + 0 * kWordBytes,
+                      mesh._nodes[(i + 1) % num_nodes]);
+        mem.writeWord(n + 1 * kWordBytes,
+                      mesh._nodes[(i + num_nodes - 1) % num_nodes]);
+        mem.writeWord(n + 2 * kWordBytes,
+                      mesh._nodes[rng.below(num_nodes)]);
+        mem.writeWord(n + 3 * kWordBytes,
+                      mesh._nodes[rng.below(num_nodes)]);
+        mem.writeWord(n + kBadFlag * kWordBytes,
+                      rng.chance(bad_fraction_pct, 100) ? 1 : 0);
+        mem.writeWord(n + kEpoch * kWordBytes, 0);
+    }
+    return mesh;
+}
+
+Task<TxValue>
+SimMesh::refine(Tx &tx, Addr start, unsigned depth)
+{
+    // Cavity expansion: chase neighbour pointers from the seed. Every
+    // pointer is consumed as an address (tx.reify), so each visited
+    // node is pinned — remote retriangulation of an overlapping cavity
+    // changes the links and the repair constraints fail.
+    Word touched = 0;
+    Addr cur = start;
+    Addr prev = 0;
+    for (unsigned d = 0; d < depth; ++d) {
+        TxValue bad = co_await tx.load(cur + kBadFlag * kWordBytes);
+        if (tx.cmp(bad, rtc::CmpOp::NE, 0))
+            co_await tx.store(cur + kBadFlag * kWordBytes, TxValue(0));
+
+        TxValue ep = co_await tx.load(cur + kEpoch * kWordBytes);
+        co_await tx.store(cur + kEpoch * kWordBytes, tx.add(ep, 1));
+        ++touched;
+
+        // Retriangulate: point one link of the current node back at
+        // the previous cavity member.
+        if (prev != 0)
+            co_await tx.store(cur + 3 * kWordBytes, TxValue(prev));
+
+        TxValue nxt =
+            co_await tx.load(cur + (d % kNeighbors) * kWordBytes);
+        Addr next = tx.reify(nxt);
+        if (next == 0)
+            break;
+        prev = cur;
+        cur = next;
+        co_await tx.work(60); // Geometric predicate cost.
+    }
+    co_return TxValue(touched);
+}
+
+Word
+SimMesh::hostCountBad(const mem::SparseMemory &mem) const
+{
+    Word n = 0;
+    for (Addr node : _nodes)
+        n += mem.readWord(node + kBadFlag * kWordBytes) != 0;
+    return n;
+}
+
+} // namespace retcon::ds

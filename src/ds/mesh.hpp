@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared refinement mesh (the yada model).
+ *
+ * Nodes are triangles with neighbour pointers; refinement transactions
+ * pick a "bad" element, expand a cavity by chasing neighbour pointers,
+ * and retriangulate (rewrite links, clear/set bad flags). The chased
+ * pointers feed address computation, so under RETCON every node visited
+ * acquires an equality constraint — and since concurrent refinements
+ * restructure overlapping cavities, the constraints are violated and
+ * repair fails: yada is the paper's example of conflicts central to
+ * the dataflow (§5.4).
+ *
+ * Node layout: [0..3] neighbour ptrs, [4] bad flag, [5] epoch.
+ */
+
+#ifndef RETCON_DS_MESH_HPP
+#define RETCON_DS_MESH_HPP
+
+#include <vector>
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** A handle to a refinement mesh in simulated memory. */
+class SimMesh
+{
+  public:
+    static constexpr unsigned kNeighbors = 4;
+    static constexpr unsigned kBadFlag = 4;
+    static constexpr unsigned kEpoch = 5;
+    static constexpr Addr kNodeBytes = 6 * kWordBytes;
+
+    SimMesh() = default;
+
+    /**
+     * Build a connected random mesh of @p num_nodes elements with
+     * @p bad_fraction_pct percent initially marked bad.
+     */
+    static SimMesh create(mem::SparseMemory &mem, SimAllocator &alloc,
+                          Word num_nodes, unsigned bad_fraction_pct,
+                          Xoshiro &rng);
+
+    /** Address of node @p i. */
+    Addr node(Word i) const { return _nodes.at(i); }
+    Word numNodes() const { return _nodes.size(); }
+
+    /**
+     * Refine the cavity around @p start: walk up to @p depth neighbour
+     * hops, clear bad flags, bump epochs, and rewire one link per
+     * visited node. @return number of nodes touched.
+     */
+    exec::Task<exec::TxValue> refine(exec::Tx &tx, Addr start,
+                                     unsigned depth);
+
+    /** Count nodes whose bad flag is still set (host-side). */
+    Word hostCountBad(const mem::SparseMemory &mem) const;
+
+  private:
+    std::vector<Addr> _nodes;
+};
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_MESH_HPP

@@ -1,0 +1,83 @@
+#include "ds/queue.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+
+namespace retcon::ds {
+
+SimQueue
+SimQueue::create(mem::SparseMemory &mem, SimAllocator &alloc)
+{
+    Addr base = alloc.allocShared(kBlockBytes);
+    mem.writeWord(base + kHead * kWordBytes, 0);
+    mem.writeWord(base + kTail * kWordBytes, 0);
+    mem.writeWord(base + kCount * kWordBytes, 0);
+    return SimQueue(base, &alloc);
+}
+
+Task<TxValue>
+SimQueue::enqueue(Tx &tx, unsigned tid, Word payload)
+{
+    Addr fresh = _alloc->alloc(tid, kNodeBytes);
+    co_await tx.store(fresh + kNodePayload * kWordBytes,
+                      TxValue(payload));
+    co_await tx.store(fresh + kNodeNext * kWordBytes, TxValue(0));
+
+    TxValue tailv = co_await tx.load(headerWord(kTail));
+    Addr tail = tx.reify(tailv); // Address use: pins the tail pointer.
+    if (tail == 0) {
+        co_await tx.store(headerWord(kHead), TxValue(fresh));
+    } else {
+        co_await tx.store(tail + kNodeNext * kWordBytes, TxValue(fresh));
+    }
+    co_await tx.store(headerWord(kTail), TxValue(fresh));
+
+    TxValue cnt = co_await tx.load(headerWord(kCount));
+    co_await tx.store(headerWord(kCount), tx.add(cnt, 1));
+    co_return TxValue(1);
+}
+
+Task<TxValue>
+SimQueue::dequeue(Tx &tx)
+{
+    TxValue headv = co_await tx.load(headerWord(kHead));
+    Addr head = tx.reify(headv); // Address use: pins the head pointer.
+    if (head == 0)
+        co_return TxValue(0);
+
+    TxValue payload = co_await tx.load(head + kNodePayload * kWordBytes);
+    TxValue nextv = co_await tx.load(head + kNodeNext * kWordBytes);
+    Addr next = tx.reify(nextv);
+    co_await tx.store(headerWord(kHead), TxValue(next));
+    if (next == 0)
+        co_await tx.store(headerWord(kTail), TxValue(0));
+
+    TxValue cnt = co_await tx.load(headerWord(kCount));
+    co_await tx.store(headerWord(kCount), tx.sub(cnt, 1));
+    co_return tx.add(payload, 1);
+}
+
+void
+SimQueue::hostEnqueue(mem::SparseMemory &mem, Word payload)
+{
+    Addr fresh = _alloc->allocShared(kNodeBytes);
+    mem.writeWord(fresh + kNodePayload * kWordBytes, payload);
+    mem.writeWord(fresh + kNodeNext * kWordBytes, 0);
+    Addr tail = mem.readWord(headerWord(kTail));
+    if (tail == 0)
+        mem.writeWord(headerWord(kHead), fresh);
+    else
+        mem.writeWord(tail + kNodeNext * kWordBytes, fresh);
+    mem.writeWord(headerWord(kTail), fresh);
+    mem.writeWord(headerWord(kCount),
+                  mem.readWord(headerWord(kCount)) + 1);
+}
+
+Word
+SimQueue::hostCount(const mem::SparseMemory &mem) const
+{
+    return mem.readWord(headerWord(kCount));
+}
+
+} // namespace retcon::ds

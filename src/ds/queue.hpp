@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Linked-list FIFO queue in simulated memory.
+ *
+ * Layout:
+ *   header: [0] head ptr  [1] tail ptr  [2] count
+ *   node:   [0] payload   [1] next
+ *
+ * The head/tail pointers are consumed as *addresses* by dequeue/enqueue,
+ * so under RETCON they acquire equality constraints — a remote dequeue
+ * changes them and forces an abort. This is the paper's intruder
+ * pattern: "the values on which there is contention are used to index
+ * into memory", the case repair cannot help (§5.4). The intruder_opt
+ * variant sidesteps it with thread-private queues (one queue per
+ * thread), not a different queue implementation.
+ */
+
+#ifndef RETCON_DS_QUEUE_HPP
+#define RETCON_DS_QUEUE_HPP
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** A handle to a FIFO queue in simulated memory. */
+class SimQueue
+{
+  public:
+    static constexpr unsigned kHead = 0;
+    static constexpr unsigned kTail = 1;
+    static constexpr unsigned kCount = 2;
+    static constexpr unsigned kNodePayload = 0;
+    static constexpr unsigned kNodeNext = 1;
+    static constexpr Addr kNodeBytes = 2 * kWordBytes;
+
+    SimQueue() = default;
+    SimQueue(Addr base, SimAllocator *alloc) : _base(base), _alloc(alloc)
+    {}
+
+    static SimQueue create(mem::SparseMemory &mem, SimAllocator &alloc);
+
+    Addr base() const { return _base; }
+
+    /** Append @p payload. */
+    exec::Task<exec::TxValue> enqueue(exec::Tx &tx, unsigned tid,
+                                      Word payload);
+
+    /** Pop the oldest payload. @return payload+1, or 0 when empty. */
+    exec::Task<exec::TxValue> dequeue(exec::Tx &tx);
+
+    // Host-side helpers (setup / validation).
+    void hostEnqueue(mem::SparseMemory &mem, Word payload);
+    Word hostCount(const mem::SparseMemory &mem) const;
+
+  private:
+    Addr _base = 0;
+    SimAllocator *_alloc = nullptr;
+
+    Addr headerWord(unsigned idx) const { return _base + idx * kWordBytes; }
+};
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_QUEUE_HPP

@@ -1,0 +1,350 @@
+#include "ds/rbtree.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+
+namespace retcon::ds {
+
+namespace {
+constexpr Word kBlack = 0;
+constexpr Word kRed = 1;
+} // namespace
+
+SimRBTree
+SimRBTree::create(mem::SparseMemory &mem, SimAllocator &alloc)
+{
+    Addr base = alloc.allocShared(kBlockBytes);
+    mem.writeWord(base + kRoot * kWordBytes, 0);
+    mem.writeWord(base + kCount * kWordBytes, 0);
+    return SimRBTree(base, &alloc);
+}
+
+Task<TxValue>
+SimRBTree::rotate(Tx &tx, Addr x, bool left)
+{
+    unsigned toward = left ? kNodeLeft : kNodeRight;
+    unsigned away = left ? kNodeRight : kNodeLeft;
+
+    Addr y = tx.reify(co_await tx.load(field(x, away)));
+    Addr y_toward = tx.reify(co_await tx.load(field(y, toward)));
+
+    co_await tx.store(field(x, away), TxValue(y_toward));
+    if (y_toward != 0)
+        co_await tx.store(field(y_toward, kNodeParent), TxValue(x));
+
+    Addr xp = tx.reify(co_await tx.load(field(x, kNodeParent)));
+    co_await tx.store(field(y, kNodeParent), TxValue(xp));
+    if (xp == 0) {
+        co_await tx.store(headerWord(kRoot), TxValue(y));
+    } else {
+        Addr xp_left = tx.reify(co_await tx.load(field(xp, kNodeLeft)));
+        if (xp_left == x)
+            co_await tx.store(field(xp, kNodeLeft), TxValue(y));
+        else
+            co_await tx.store(field(xp, kNodeRight), TxValue(y));
+    }
+    co_await tx.store(field(y, toward), TxValue(x));
+    co_await tx.store(field(x, kNodeParent), TxValue(y));
+    co_return TxValue(0);
+}
+
+Task<TxValue>
+SimRBTree::fixupInsert(Tx &tx, Addr z)
+{
+    for (;;) {
+        Addr p = tx.reify(co_await tx.load(field(z, kNodeParent)));
+        if (p == 0)
+            break;
+        TxValue pcol = co_await tx.load(field(p, kNodeColor));
+        if (tx.cmp(pcol, rtc::CmpOp::EQ, kBlack))
+            break;
+        Addr g = tx.reify(co_await tx.load(field(p, kNodeParent)));
+        if (g == 0)
+            break;
+        Addr g_left = tx.reify(co_await tx.load(field(g, kNodeLeft)));
+        bool p_is_left = (p == g_left);
+        Addr uncle = tx.reify(co_await tx.load(
+            field(g, p_is_left ? kNodeRight : kNodeLeft)));
+
+        bool uncle_red = false;
+        if (uncle != 0) {
+            TxValue ucol = co_await tx.load(field(uncle, kNodeColor));
+            uncle_red = tx.cmp(ucol, rtc::CmpOp::EQ, kRed);
+        }
+
+        if (uncle_red) {
+            co_await tx.store(field(p, kNodeColor), TxValue(kBlack));
+            co_await tx.store(field(uncle, kNodeColor), TxValue(kBlack));
+            co_await tx.store(field(g, kNodeColor), TxValue(kRed));
+            z = g;
+            continue;
+        }
+
+        Addr inner = tx.reify(co_await tx.load(
+            field(p, p_is_left ? kNodeRight : kNodeLeft)));
+        if (z == inner) {
+            z = p;
+            co_await rotate(tx, z, p_is_left);
+            p = tx.reify(co_await tx.load(field(z, kNodeParent)));
+        }
+        co_await tx.store(field(p, kNodeColor), TxValue(kBlack));
+        co_await tx.store(field(g, kNodeColor), TxValue(kRed));
+        co_await rotate(tx, g, !p_is_left);
+    }
+
+    Addr root = tx.reify(co_await tx.load(headerWord(kRoot)));
+    co_await tx.store(field(root, kNodeColor), TxValue(kBlack));
+    co_return TxValue(0);
+}
+
+Task<TxValue>
+SimRBTree::insert(Tx &tx, unsigned tid, Word key, Word value)
+{
+    Addr parent = 0;
+    bool went_left = false;
+    Addr cur = tx.reify(co_await tx.load(headerWord(kRoot)));
+
+    while (cur != 0) {
+        TxValue kv = co_await tx.load(field(cur, kNodeKey));
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key))) {
+            TxValue del = co_await tx.load(field(cur, kNodeDeleted));
+            if (tx.cmp(del, rtc::CmpOp::NE, 0)) {
+                co_await tx.store(field(cur, kNodeDeleted), TxValue(0));
+                co_await tx.store(field(cur, kNodeValue),
+                                  TxValue(value));
+                TxValue cnt = co_await tx.load(headerWord(kCount));
+                co_await tx.store(headerWord(kCount), tx.add(cnt, 1));
+                co_return TxValue(1);
+            }
+            co_return TxValue(0);
+        }
+        parent = cur;
+        went_left = tx.cmpv(TxValue(key), rtc::CmpOp::LT, kv);
+        cur = tx.reify(co_await tx.load(
+            field(cur, went_left ? kNodeLeft : kNodeRight)));
+    }
+
+    Addr fresh = _alloc->alloc(tid, kNodeBytes);
+    co_await tx.store(field(fresh, kNodeKey), TxValue(key));
+    co_await tx.store(field(fresh, kNodeValue), TxValue(value));
+    co_await tx.store(field(fresh, kNodeLeft), TxValue(0));
+    co_await tx.store(field(fresh, kNodeRight), TxValue(0));
+    co_await tx.store(field(fresh, kNodeParent), TxValue(parent));
+    co_await tx.store(field(fresh, kNodeColor), TxValue(kRed));
+    co_await tx.store(field(fresh, kNodeDeleted), TxValue(0));
+
+    if (parent == 0) {
+        co_await tx.store(headerWord(kRoot), TxValue(fresh));
+    } else {
+        co_await tx.store(
+            field(parent, went_left ? kNodeLeft : kNodeRight),
+            TxValue(fresh));
+    }
+    TxValue cnt = co_await tx.load(headerWord(kCount));
+    co_await tx.store(headerWord(kCount), tx.add(cnt, 1));
+
+    co_await fixupInsert(tx, fresh);
+    co_return TxValue(1);
+}
+
+Task<TxValue>
+SimRBTree::lookup(Tx &tx, Word key)
+{
+    Addr cur = tx.reify(co_await tx.load(headerWord(kRoot)));
+    while (cur != 0) {
+        TxValue kv = co_await tx.load(field(cur, kNodeKey));
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key))) {
+            TxValue del = co_await tx.load(field(cur, kNodeDeleted));
+            if (tx.cmp(del, rtc::CmpOp::NE, 0))
+                co_return TxValue(0);
+            TxValue val = co_await tx.load(field(cur, kNodeValue));
+            co_return tx.add(val, 1);
+        }
+        bool left = tx.cmpv(TxValue(key), rtc::CmpOp::LT, kv);
+        cur = tx.reify(co_await tx.load(
+            field(cur, left ? kNodeLeft : kNodeRight)));
+    }
+    co_return TxValue(0);
+}
+
+Task<TxValue>
+SimRBTree::remove(Tx &tx, Word key)
+{
+    Addr cur = tx.reify(co_await tx.load(headerWord(kRoot)));
+    while (cur != 0) {
+        TxValue kv = co_await tx.load(field(cur, kNodeKey));
+        if (tx.cmpv(kv, rtc::CmpOp::EQ, TxValue(key))) {
+            TxValue del = co_await tx.load(field(cur, kNodeDeleted));
+            if (tx.cmp(del, rtc::CmpOp::NE, 0))
+                co_return TxValue(0);
+            co_await tx.store(field(cur, kNodeDeleted), TxValue(1));
+            TxValue cnt = co_await tx.load(headerWord(kCount));
+            co_await tx.store(headerWord(kCount), tx.sub(cnt, 1));
+            co_return TxValue(1);
+        }
+        bool left = tx.cmpv(TxValue(key), rtc::CmpOp::LT, kv);
+        cur = tx.reify(co_await tx.load(
+            field(cur, left ? kNodeLeft : kNodeRight)));
+    }
+    co_return TxValue(0);
+}
+
+// ---------------------------------------------------------------------
+// Host-side (functional) mirror used for setup and invariant checking.
+// ---------------------------------------------------------------------
+
+void
+SimRBTree::hostInsert(mem::SparseMemory &mem, Word key, Word value)
+{
+    auto rd = [&](Addr a) { return mem.readWord(a); };
+    auto wr = [&](Addr a, Word v) { mem.writeWord(a, v); };
+
+    Addr parent = 0;
+    bool went_left = false;
+    Addr cur = rd(headerWord(kRoot));
+    while (cur != 0) {
+        Word k = rd(field(cur, kNodeKey));
+        if (k == key) {
+            if (rd(field(cur, kNodeDeleted))) {
+                wr(field(cur, kNodeDeleted), 0);
+                wr(field(cur, kNodeValue), value);
+                wr(headerWord(kCount), rd(headerWord(kCount)) + 1);
+            }
+            return;
+        }
+        parent = cur;
+        went_left = static_cast<std::int64_t>(key) <
+                    static_cast<std::int64_t>(k);
+        cur = rd(field(cur, went_left ? kNodeLeft : kNodeRight));
+    }
+
+    Addr fresh = _alloc->allocShared(kNodeBytes);
+    wr(field(fresh, kNodeKey), key);
+    wr(field(fresh, kNodeValue), value);
+    wr(field(fresh, kNodeLeft), 0);
+    wr(field(fresh, kNodeRight), 0);
+    wr(field(fresh, kNodeParent), parent);
+    wr(field(fresh, kNodeColor), kRed);
+    wr(field(fresh, kNodeDeleted), 0);
+    if (parent == 0)
+        wr(headerWord(kRoot), fresh);
+    else
+        wr(field(parent, went_left ? kNodeLeft : kNodeRight), fresh);
+    wr(headerWord(kCount), rd(headerWord(kCount)) + 1);
+
+    auto rotate_host = [&](Addr x, bool left) {
+        unsigned toward = left ? kNodeLeft : kNodeRight;
+        unsigned away = left ? kNodeRight : kNodeLeft;
+        Addr y = rd(field(x, away));
+        Addr yt = rd(field(y, toward));
+        wr(field(x, away), yt);
+        if (yt)
+            wr(field(yt, kNodeParent), x);
+        Addr xp = rd(field(x, kNodeParent));
+        wr(field(y, kNodeParent), xp);
+        if (xp == 0)
+            wr(headerWord(kRoot), y);
+        else if (rd(field(xp, kNodeLeft)) == x)
+            wr(field(xp, kNodeLeft), y);
+        else
+            wr(field(xp, kNodeRight), y);
+        wr(field(y, toward), x);
+        wr(field(x, kNodeParent), y);
+    };
+
+    Addr z = fresh;
+    for (;;) {
+        Addr p = rd(field(z, kNodeParent));
+        if (p == 0 || rd(field(p, kNodeColor)) == kBlack)
+            break;
+        Addr g = rd(field(p, kNodeParent));
+        if (g == 0)
+            break;
+        bool p_is_left = rd(field(g, kNodeLeft)) == p;
+        Addr uncle = rd(field(g, p_is_left ? kNodeRight : kNodeLeft));
+        if (uncle != 0 && rd(field(uncle, kNodeColor)) == kRed) {
+            wr(field(p, kNodeColor), kBlack);
+            wr(field(uncle, kNodeColor), kBlack);
+            wr(field(g, kNodeColor), kRed);
+            z = g;
+            continue;
+        }
+        if (z == rd(field(p, p_is_left ? kNodeRight : kNodeLeft))) {
+            z = p;
+            rotate_host(z, p_is_left);
+            p = rd(field(z, kNodeParent));
+        }
+        wr(field(p, kNodeColor), kBlack);
+        wr(field(g, kNodeColor), kRed);
+        rotate_host(g, !p_is_left);
+    }
+    wr(field(rd(headerWord(kRoot)), kNodeColor), kBlack);
+}
+
+bool
+SimRBTree::hostContains(const mem::SparseMemory &mem, Word key) const
+{
+    Addr cur = mem.readWord(headerWord(kRoot));
+    while (cur != 0) {
+        Word k = mem.readWord(field(cur, kNodeKey));
+        if (k == key)
+            return mem.readWord(field(cur, kNodeDeleted)) == 0;
+        bool left = static_cast<std::int64_t>(key) <
+                    static_cast<std::int64_t>(k);
+        cur = mem.readWord(field(cur, left ? kNodeLeft : kNodeRight));
+    }
+    return false;
+}
+
+Word
+SimRBTree::hostCount(const mem::SparseMemory &mem) const
+{
+    return mem.readWord(headerWord(kCount));
+}
+
+int
+SimRBTree::hostBlackHeight(const mem::SparseMemory &mem, Addr node,
+                           bool &ok) const
+{
+    if (node == 0)
+        return 1;
+    Addr l = mem.readWord(field(node, kNodeLeft));
+    Addr r = mem.readWord(field(node, kNodeRight));
+    Word color = mem.readWord(field(node, kNodeColor));
+    Word key = mem.readWord(field(node, kNodeKey));
+
+    auto skey = static_cast<std::int64_t>(key);
+    if (l && static_cast<std::int64_t>(
+                 mem.readWord(field(l, kNodeKey))) >= skey)
+        ok = false;
+    if (r && static_cast<std::int64_t>(
+                 mem.readWord(field(r, kNodeKey))) <= skey)
+        ok = false;
+    if (color == kRed) {
+        if (l && mem.readWord(field(l, kNodeColor)) == kRed)
+            ok = false;
+        if (r && mem.readWord(field(r, kNodeColor)) == kRed)
+            ok = false;
+    }
+    int hl = hostBlackHeight(mem, l, ok);
+    int hr = hostBlackHeight(mem, r, ok);
+    if (hl != hr)
+        ok = false;
+    return hl + (color == kBlack ? 1 : 0);
+}
+
+bool
+SimRBTree::hostCheckInvariants(const mem::SparseMemory &mem) const
+{
+    Addr root = mem.readWord(headerWord(kRoot));
+    if (root == 0)
+        return true;
+    if (mem.readWord(field(root, kNodeColor)) != kBlack)
+        return false;
+    bool ok = true;
+    hostBlackHeight(mem, root, ok);
+    return ok;
+}
+
+} // namespace retcon::ds

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Red-black tree map in simulated memory (vacation/intruder base
+ * variants).
+ *
+ * Layout:
+ *   header: [0] root ptr  [1] count
+ *   node:   [0] key [1] value [2] left [3] right [4] parent
+ *           [5] color (0=black 1=red) [6] deleted
+ *
+ * Insertions run the full red-black fixup (rotations + recoloring),
+ * which is what makes the tree a conflict magnet near the root: an
+ * insert deep in one subtree can recolor/rotate nodes shared with
+ * every other insert. The paper's software restructuring replaces this
+ * tree with a hashtable ("_opt" variants).
+ *
+ * Removal uses lazy deletion (a tombstone flag) — standard practice in
+ * concurrent maps; it keeps the structural invariants intact while
+ * still exercising read-modify-write on shared nodes.
+ */
+
+#ifndef RETCON_DS_RBTREE_HPP
+#define RETCON_DS_RBTREE_HPP
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** A handle to a red-black tree in simulated memory. */
+class SimRBTree
+{
+  public:
+    static constexpr unsigned kRoot = 0;
+    static constexpr unsigned kCount = 1;
+
+    static constexpr unsigned kNodeKey = 0;
+    static constexpr unsigned kNodeValue = 1;
+    static constexpr unsigned kNodeLeft = 2;
+    static constexpr unsigned kNodeRight = 3;
+    static constexpr unsigned kNodeParent = 4;
+    static constexpr unsigned kNodeColor = 5;
+    static constexpr unsigned kNodeDeleted = 6;
+    static constexpr Addr kNodeBytes = 7 * kWordBytes;
+
+    SimRBTree() = default;
+    SimRBTree(Addr base, SimAllocator *alloc) : _base(base), _alloc(alloc)
+    {}
+
+    static SimRBTree create(mem::SparseMemory &mem, SimAllocator &alloc);
+
+    Addr base() const { return _base; }
+
+    /**
+     * Insert key -> value (revives tombstoned keys).
+     * @return 1 inserted/revived, 0 already present.
+     */
+    exec::Task<exec::TxValue> insert(exec::Tx &tx, unsigned tid, Word key,
+                                     Word value);
+
+    /** Look up key. @return value+1 if present (not deleted), else 0. */
+    exec::Task<exec::TxValue> lookup(exec::Tx &tx, Word key);
+
+    /** Tombstone key. @return 1 removed, 0 absent. */
+    exec::Task<exec::TxValue> remove(exec::Tx &tx, Word key);
+
+    // Host-side helpers (setup / invariant checks).
+    void hostInsert(mem::SparseMemory &mem, Word key, Word value);
+    bool hostContains(const mem::SparseMemory &mem, Word key) const;
+    Word hostCount(const mem::SparseMemory &mem) const;
+
+    /**
+     * Validate the red-black invariants over live structure: BST
+     * ordering, no red node with a red child, equal black height on
+     * every root-to-null path. @return true when all hold.
+     */
+    bool hostCheckInvariants(const mem::SparseMemory &mem) const;
+
+  private:
+    Addr _base = 0;
+    SimAllocator *_alloc = nullptr;
+
+    Addr headerWord(unsigned idx) const { return _base + idx * kWordBytes; }
+    static Addr field(Addr node, unsigned idx)
+    {
+        return node + idx * kWordBytes;
+    }
+
+    exec::Task<exec::TxValue> fixupInsert(exec::Tx &tx, Addr node);
+    exec::Task<exec::TxValue> rotate(exec::Tx &tx, Addr node, bool left);
+
+    int hostBlackHeight(const mem::SparseMemory &mem, Addr node,
+                        bool &ok) const;
+};
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_RBTREE_HPP

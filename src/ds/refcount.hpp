@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reference-counted shared objects (the cpython model).
+ *
+ * An object is a block-aligned region whose word 0 is the reference
+ * count; the payload follows. CPython bumps the refcount of *every*
+ * object a bytecode touches — including globally shared singletons
+ * (small ints, interned strings, module dicts) — which is the paper's
+ * flagship RETCON-repairable conflict: a pure load/add/store with
+ * control flow that only tests for zero (never true for shared
+ * singletons), so remote changes repair cleanly at commit.
+ */
+
+#ifndef RETCON_DS_REFCOUNT_HPP
+#define RETCON_DS_REFCOUNT_HPP
+
+#include "ds/sim_alloc.hpp"
+#include "exec/core.hpp"
+#include "exec/task.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::ds {
+
+/** Allocate a refcounted object with @p payload_words payload words. */
+inline Addr
+makeRefCounted(mem::SparseMemory &mem, SimAllocator &alloc,
+               Addr payload_words, Word initial_count = 1)
+{
+    Addr obj = alloc.allocShared(kBlockBytes +
+                                 payload_words * kWordBytes);
+    mem.writeWord(obj, initial_count);
+    return obj;
+}
+
+/** Py_INCREF: refcount += 1 (symbolically repairable). */
+inline exec::Task<exec::TxValue>
+incref(exec::Tx &tx, Addr obj)
+{
+    exec::TxValue rc = co_await tx.load(obj);
+    co_await tx.store(obj, tx.add(rc, 1));
+    co_return exec::TxValue(0);
+}
+
+/**
+ * Py_DECREF: refcount -= 1; the deallocation branch tests for zero,
+ * forming the interval constraint [rc] > 1 on the input — shared
+ * singletons never hit it, so the branch stays repairable.
+ */
+inline exec::Task<exec::TxValue>
+decref(exec::Tx &tx, Addr obj)
+{
+    exec::TxValue rc = co_await tx.load(obj);
+    exec::TxValue rc1 = tx.sub(rc, 1);
+    co_await tx.store(obj, rc1);
+    if (tx.cmp(rc1, rtc::CmpOp::LE, 0)) {
+        // Deallocation path (cold for shared objects): charge the
+        // cost of tearing the object down.
+        co_await tx.work(30);
+    }
+    co_return exec::TxValue(0);
+}
+
+} // namespace retcon::ds
+
+#endif // RETCON_DS_REFCOUNT_HPP

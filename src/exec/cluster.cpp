@@ -1,0 +1,69 @@
+#include "exec/cluster.hpp"
+
+#include "sim/logging.hpp"
+
+namespace retcon::exec {
+
+Cluster::Cluster(const ClusterConfig &cfg) : _cfg(cfg)
+{
+    sim_assert(cfg.numThreads >= 1 && cfg.numThreads <= 64,
+               "thread count out of range");
+    _ms = std::make_unique<mem::MemorySystem>(cfg.numThreads, cfg.timing,
+                                              cfg.caches);
+    _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, cfg.tm);
+    _barrier = std::make_unique<Barrier>(cfg.numThreads);
+    for (CoreId i = 0; i < cfg.numThreads; ++i)
+        _cores.push_back(std::make_unique<Core>(
+            i, _eq, *_tm, *_barrier, cfg.numThreads, cfg.seed));
+    _tm->setRemoteAbortHandler([this](CoreId victim, htm::AbortCause c) {
+        _cores[victim]->onRemoteAbort(c);
+    });
+}
+
+void
+Cluster::start(const Core::ProgramFactory &factory)
+{
+    for (auto &core : _cores)
+        core->start(factory);
+}
+
+Cycle
+Cluster::run()
+{
+    Cycle end = _eq.run(_cfg.maxCycles);
+    for (auto &core : _cores) {
+        if (!core->finished()) {
+            warn("core %u did not finish within %llu cycles "
+                 "(livelock or watchdog); results are partial",
+                 core->id(),
+                 static_cast<unsigned long long>(_cfg.maxCycles));
+            break;
+        }
+    }
+    return end;
+}
+
+TimeBreakdown
+Cluster::aggregateBreakdown() const
+{
+    TimeBreakdown total;
+    for (const auto &core : _cores)
+        total.merge(core->breakdown());
+    return total;
+}
+
+CoreStats
+Cluster::aggregateStats() const
+{
+    CoreStats total;
+    for (const auto &core : _cores) {
+        total.txns += core->stats().txns;
+        total.commits += core->stats().commits;
+        total.aborts += core->stats().aborts;
+        total.finishCycle =
+            std::max(total.finishCycle, core->stats().finishCycle);
+    }
+    return total;
+}
+
+} // namespace retcon::exec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cluster: the assembled simulated machine.
+ *
+ * Owns the event queue, the coherent memory hierarchy, the TM machine,
+ * the barrier, and one Core per simulated thread, wired together per
+ * Table 1. Workloads install one thread program per core and run() the
+ * event loop to completion.
+ */
+
+#ifndef RETCON_EXEC_CLUSTER_HPP
+#define RETCON_EXEC_CLUSTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "exec/core.hpp"
+#include "htm/machine.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/event_queue.hpp"
+
+namespace retcon::exec {
+
+/** Full-machine configuration. */
+struct ClusterConfig {
+    unsigned numThreads = 32;
+    std::uint64_t seed = 1;
+    htm::TMConfig tm{};
+    mem::MemTimingConfig timing{};
+    mem::CacheConfig caches{};
+    Cycle maxCycles = 2'000'000'000ull; ///< Watchdog for runaway runs.
+};
+
+/** The assembled simulated machine. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &cfg);
+
+    /** Install and start thread programs (one factory for all cores). */
+    void start(const Core::ProgramFactory &factory);
+
+    /** Run the event loop until all cores finish. @return makespan. */
+    Cycle run();
+
+    EventQueue &eventQueue() { return _eq; }
+    mem::MemorySystem &memorySystem() { return *_ms; }
+    mem::SparseMemory &memory() { return _ms->memory(); }
+    htm::TMMachine &machine() { return *_tm; }
+    Core &core(CoreId i) { return *_cores[i]; }
+    unsigned numThreads() const { return _cfg.numThreads; }
+    const ClusterConfig &config() const { return _cfg; }
+
+    /** Aggregate time breakdown over all cores. */
+    TimeBreakdown aggregateBreakdown() const;
+
+    /** Sum of per-core stats. */
+    CoreStats aggregateStats() const;
+
+  private:
+    ClusterConfig _cfg;
+    EventQueue _eq;
+    std::unique_ptr<mem::MemorySystem> _ms;
+    std::unique_ptr<htm::TMMachine> _tm;
+    std::unique_ptr<Barrier> _barrier;
+    std::vector<std::unique_ptr<Core>> _cores;
+};
+
+} // namespace retcon::exec
+
+#endif // RETCON_EXEC_CLUSTER_HPP

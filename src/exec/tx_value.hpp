@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TxValue: a simulated register value with an optional symbolic tag.
+ *
+ * Workload code computes on TxValues the way a program computes on
+ * registers. The concrete part drives execution; the symbolic part is
+ * RETCON's (input_address, increment) tag, propagated by the Tx
+ * arithmetic helpers and consumed by stores, branches, and commit-time
+ * register repair. Plain accessors that would let symbolic values leak
+ * into untracked host computation are deliberately restrictive: use
+ * Tx::reify() (which records an equality constraint) when a value is
+ * needed as an address or for untrackable math.
+ */
+
+#ifndef RETCON_EXEC_TX_VALUE_HPP
+#define RETCON_EXEC_TX_VALUE_HPP
+
+#include <optional>
+
+#include "retcon/symbolic.hpp"
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::exec {
+
+/** A register value: concrete word + optional symbolic tag. */
+class TxValue
+{
+  public:
+    TxValue() = default;
+
+    /** A plain concrete value. */
+    /* implicit */ TxValue(Word v) : _concrete(v) {}
+
+    TxValue(Word v, std::optional<rtc::SymTag> sym)
+        : _concrete(v), _sym(std::move(sym))
+    {}
+
+    /** The concrete (best-guess) value guiding execution. */
+    Word concrete() const { return _concrete; }
+
+    /** Signed view of the concrete value. */
+    std::int64_t
+    sconcrete() const
+    {
+        return static_cast<std::int64_t>(_concrete);
+    }
+
+    bool symbolic() const { return _sym.has_value(); }
+    const std::optional<rtc::SymTag> &sym() const { return _sym; }
+
+    /**
+     * Extract the value when it is known to be non-symbolic. Asserts
+     * otherwise — symbolic values must go through Tx::reify().
+     */
+    Word
+    raw() const
+    {
+        sim_assert(!_sym, "raw() on a symbolic value; use Tx::reify()");
+        return _concrete;
+    }
+
+  private:
+    Word _concrete = 0;
+    std::optional<rtc::SymTag> _sym;
+};
+
+} // namespace retcon::exec
+
+#endif // RETCON_EXEC_TX_VALUE_HPP

@@ -1,0 +1,1265 @@
+#include "htm/machine.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace retcon::htm {
+
+const char *
+tmModeName(TMMode m)
+{
+    switch (m) {
+      case TMMode::Serial: return "serial";
+      case TMMode::Eager: return "eager";
+      case TMMode::Lazy: return "lazy";
+      case TMMode::LazyVB: return "lazy-vb";
+      case TMMode::Retcon: return "retcon";
+      case TMMode::DATM: return "datm";
+    }
+    return "?";
+}
+
+const char *
+cmPolicyName(CMPolicy p)
+{
+    switch (p) {
+      case CMPolicy::OldestWins: return "oldest-wins";
+      case CMPolicy::RequesterLoses: return "requester-loses";
+      case CMPolicy::RequesterWins: return "requester-wins";
+    }
+    return "?";
+}
+
+const char *
+abortCauseName(AbortCause c)
+{
+    switch (c) {
+      case AbortCause::None: return "none";
+      case AbortCause::Conflict: return "conflict";
+      case AbortCause::ConstraintViolation: return "constraint-violation";
+      case AbortCause::LazyValidation: return "lazy-validation";
+      case AbortCause::LazyCommitter: return "lazy-committer";
+      case AbortCause::DatmCycle: return "datm-cycle";
+      case AbortCause::DatmCascade: return "datm-cascade";
+      case AbortCause::Overflow: return "overflow";
+      case AbortCause::Explicit: return "explicit";
+      case AbortCause::Zombie: return "zombie";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Extract a size-byte value at byte offset within a word. */
+Word
+extractBytes(Word w, unsigned byte_off, unsigned size)
+{
+    if (size >= 8)
+        return w;
+    Word mask = (Word(1) << (size * 8)) - 1;
+    return (w >> (byte_off * 8)) & mask;
+}
+
+/** Overlay size bytes of value into w at byte offset. */
+Word
+overlayBytes(Word w, Word value, unsigned byte_off, unsigned size)
+{
+    if (size >= 8)
+        return value;
+    Word mask = ((Word(1) << (size * 8)) - 1) << (byte_off * 8);
+    return (w & ~mask) | ((value << (byte_off * 8)) & mask);
+}
+
+bool
+isFullWordAccess(Addr addr, unsigned size)
+{
+    return byteInWord(addr) == 0 && size == 8;
+}
+
+} // namespace
+
+TMMachine::TMMachine(EventQueue &eq, mem::MemorySystem &ms,
+                     const TMConfig &cfg)
+    : _eq(eq), _ms(ms), _cfg(cfg), _predictor(cfg.predictor)
+{
+    _cores.reserve(ms.numCores());
+    for (unsigned i = 0; i < ms.numCores(); ++i)
+        _cores.push_back(std::make_unique<CoreTxState>(
+            _cfg, ms.cacheConfig().permOnly));
+    _ms.setListener(this);
+}
+
+TMMachine::~TMMachine()
+{
+    _ms.setListener(nullptr);
+}
+
+void
+TMMachine::emitTrace(CoreId core, const char *kind, Addr addr, Word value)
+{
+    if (_trace)
+        _trace(TraceEvent{_eq.now(), core, kind, addr, value});
+}
+
+std::uint64_t
+TMMachine::effectiveTs(CoreId core, bool txnal) const
+{
+    if (!txnal)
+        return 0;
+    const CoreTxState &st = *_cores[core];
+    if (st.overflowed)
+        return 0;
+    return st.timestamp;
+}
+
+TMMachine::ConflictInfo
+TMMachine::findConflicts(CoreId requester, Addr block, bool is_write) const
+{
+    ConflictInfo info;
+    bool requester_txnal =
+        requester != kNoCore && _cores[requester]->active();
+    bool requester_committing =
+        requester_txnal &&
+        _cores[requester]->status == TxStatus::Committing;
+    std::uint64_t req_ts =
+        requester == kNoCore ? 0 : effectiveTs(requester, requester_txnal);
+    for (CoreId c = 0; c < _ms.numCores(); ++c) {
+        if (c == requester)
+            continue;
+        const CoreTxState &st = *_cores[c];
+        if (!st.active())
+            continue;
+        bool hit = st.writeSet.count(block) ||
+                   (is_write && st.readSet.count(block));
+        if (!hit)
+            continue;
+        info.holders.push_back(c);
+        // Commit priority: a transaction that reached its commit
+        // point is logically serialized; requesters wait for it
+        // rather than aborting it (deadlock-free: committers never
+        // wait on active transactions, and committer-vs-committer
+        // falls back to timestamps).
+        bool holder_committing = st.status == TxStatus::Committing;
+        bool holder_wins;
+        if (holder_committing && !requester_committing)
+            holder_wins = true;
+        else if (!holder_committing && requester_committing)
+            holder_wins = false;
+        else
+            holder_wins = effectiveTs(c, true) < req_ts;
+        if (holder_wins)
+            info.anyOlder = true;
+    }
+    return info;
+}
+
+OpStatus
+TMMachine::resolveConflict(CoreId requester, bool requester_txnal,
+                           Addr block, bool is_write, bool is_retry)
+{
+    ConflictInfo info = findConflicts(requester, block, is_write);
+    if (info.holders.empty()) {
+        if (requester_txnal)
+            _cores[requester]->lastNackBlock = static_cast<Addr>(-1);
+        return OpStatus::Ok;
+    }
+
+    // Train the predictor once per request (not per NACK retry).
+    bool fresh = !is_retry ||
+                 (requester_txnal &&
+                  _cores[requester]->lastNackBlock != block);
+    if (fresh) {
+        ++_stats.conflicts;
+        _predictor.observeConflict(block);
+    }
+
+    CMPolicy policy = _cfg.cmPolicy;
+    if (!requester_txnal && policy == CMPolicy::RequesterLoses) {
+        // Non-transactional requests cannot abort; they win instead.
+        policy = CMPolicy::RequesterWins;
+    }
+
+    switch (policy) {
+      case CMPolicy::OldestWins:
+        if (!info.anyOlder) {
+            for (CoreId h : info.holders)
+                doAbort(h, AbortCause::Conflict, true);
+            if (requester_txnal)
+                _cores[requester]->lastNackBlock = static_cast<Addr>(-1);
+            return OpStatus::Ok;
+        }
+        ++_stats.nacks;
+        if (requester_txnal)
+            _cores[requester]->lastNackBlock = block;
+        emitTrace(requester, "nack", block, 0);
+        return OpStatus::Nack;
+
+      case CMPolicy::RequesterLoses:
+        doAbort(requester, AbortCause::Conflict, false);
+        return OpStatus::AbortSelf;
+
+      case CMPolicy::RequesterWins:
+        for (CoreId h : info.holders)
+            doAbort(h, AbortCause::Conflict, true);
+        return OpStatus::Ok;
+    }
+    return OpStatus::Ok;
+}
+
+void
+TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec)
+{
+    if (_cfg.mode == TMMode::DATM) {
+        datmAbortCascade(core, cause, notify_exec);
+        return;
+    }
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.active(), "aborting an idle transaction on core %u",
+               core);
+    st.undo.rollback(_ms.memory());
+    if (_serialLockHolder == core)
+        _serialLockHolder = kNoCore;
+    if (_overflowTokenHolder == core)
+        _overflowTokenHolder = kNoCore;
+    if (_lazyCommitToken == core)
+        _lazyCommitToken = kNoCore;
+    _activeUids.erase(st.uid);
+    st.resetSpeculation();
+    ++_stats.aborts;
+    ++_stats.abortsByCause[static_cast<int>(cause)];
+    emitTrace(core, "abort", 0, static_cast<Word>(cause));
+    if (notify_exec && _onRemoteAbort)
+        _onRemoteAbort(core, cause);
+}
+
+void
+TMMachine::abortSelf(CoreId core, AbortCause cause)
+{
+    doAbort(core, cause, false);
+}
+
+// ---------------------------------------------------------------------
+// DATM support
+// ---------------------------------------------------------------------
+
+bool
+TMMachine::datmCreatesCycle(std::uint64_t pred_uid,
+                            std::uint64_t succ_uid) const
+{
+    // Adding edge pred -> succ creates a cycle iff pred already
+    // (transitively) depends on succ.
+    std::vector<std::uint64_t> stack{pred_uid};
+    std::vector<std::uint64_t> seen;
+    while (!stack.empty()) {
+        std::uint64_t u = stack.back();
+        stack.pop_back();
+        if (u == succ_uid)
+            return true;
+        if (std::find(seen.begin(), seen.end(), u) != seen.end())
+            continue;
+        seen.push_back(u);
+        auto it = _activeUids.find(u);
+        if (it == _activeUids.end())
+            continue;
+        for (const auto &[p, flags] : _cores[it->second]->datmPreds)
+            stack.push_back(p);
+    }
+    return false;
+}
+
+void
+TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
+                            bool notify_exec)
+{
+    CoreTxState &root = *_cores[core];
+    sim_assert(root.active(), "DATM cascade from idle core %u", core);
+
+    // Collect the initiating transaction plus every transitive
+    // *dataflow* successor: transactions that consumed or overwrote a
+    // member's speculative data must abort with it. Pure anti/output
+    // ordering edges do not cascade.
+    std::vector<CoreId> members{core};
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (CoreId c = 0; c < _ms.numCores(); ++c) {
+            CoreTxState &st = *_cores[c];
+            if (!st.active())
+                continue;
+            if (std::find(members.begin(), members.end(), c) !=
+                members.end())
+                continue;
+            for (CoreId m : members) {
+                auto it = st.datmPreds.find(_cores[m]->uid);
+                if (it != st.datmPreds.end() && (it->second & 2)) {
+                    members.push_back(c);
+                    grew = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Merge all undo entries and restore newest-first so interleaved
+    // forwarded writes unwind in correct reverse order.
+    std::vector<UndoEntry> entries;
+    for (CoreId m : members)
+        for (const UndoEntry &e : _cores[m]->undo.entries())
+            entries.push_back(e);
+    std::sort(entries.begin(), entries.end(),
+              [](const UndoEntry &a, const UndoEntry &b) {
+                  return a.seq > b.seq;
+              });
+    for (const UndoEntry &e : entries)
+        _ms.memory().writeWord(e.word, e.oldValue);
+
+    for (CoreId m : members) {
+        CoreTxState &st = *_cores[m];
+        st.undo.clear();
+        _activeUids.erase(st.uid);
+        st.resetSpeculation();
+        ++_stats.aborts;
+        AbortCause c = (m == core) ? cause : AbortCause::DatmCascade;
+        ++_stats.abortsByCause[static_cast<int>(c)];
+        emitTrace(m, "abort", 0, static_cast<Word>(c));
+        bool notify = (m != core) || notify_exec;
+        if (notify && _onRemoteAbort)
+            _onRemoteAbort(m, c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coherence listener
+// ---------------------------------------------------------------------
+
+void
+TMMachine::onRemoteTake(CoreId victim, Addr block, CoreId by,
+                        bool by_write)
+{
+    CoreTxState &st = *_cores[victim];
+    if (!st.active())
+        return;
+    if (by_write) {
+        if (rtc::IvbEntry *e = st.ivb.find(block)) {
+            if (!e->lost) {
+                e->lost = true;
+                emitTrace(victim, "steal", block, 0);
+            }
+        }
+        // Eagerly-protected blocks can only be taken after conflict
+        // resolution has already aborted the holder (except in the
+        // lazy/DATM modes, where takes are part of normal operation).
+        if (_cfg.mode == TMMode::Eager || _cfg.mode == TMMode::LazyVB ||
+            _cfg.mode == TMMode::Retcon) {
+            sim_assert(!st.readSet.count(block) &&
+                           !st.writeSet.count(block),
+                       "speculative block 0x%llx stolen from core %u "
+                       "without conflict resolution",
+                       static_cast<unsigned long long>(block), victim);
+        }
+    }
+}
+
+void
+TMMachine::onCapacityEvict(CoreId victim, Addr block)
+{
+    CoreTxState &st = *_cores[victim];
+    if (!st.active())
+        return;
+    if (!st.readSet.count(block) && !st.writeSet.count(block))
+        return;
+    // Speculative bits survive in the permissions-only cache (§2).
+    if (auto evicted = st.permCache.insert(block)) {
+        if (st.readSet.count(*evicted) || st.writeSet.count(*evicted)) {
+            // Even the permissions-only cache lost a speculative
+            // block: fall back to OneTM serialized execution.
+            st.overflowPending = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager access path
+// ---------------------------------------------------------------------
+
+MemOpOutcome
+TMMachine::eagerAccess(CoreId core, Addr addr, bool is_write, Word value,
+                       unsigned size, bool txnal, bool is_retry)
+{
+    Addr block = blockAddr(addr);
+    Addr word = wordAddr(addr);
+    MemOpOutcome out;
+
+    if (_cfg.mode != TMMode::Serial) {
+        OpStatus s =
+            resolveConflict(core, txnal, block, is_write, is_retry);
+        if (s != OpStatus::Ok) {
+            out.status = s;
+            out.latency =
+                s == OpStatus::Nack ? _cfg.nackRetryCycles : 0;
+            return out;
+        }
+    }
+
+    mem::AccessResult res = _ms.access(core, block, is_write);
+    out.latency = res.latency;
+
+    CoreTxState &st = *_cores[core];
+    if (txnal) {
+        if (is_write)
+            st.writeSet.insert(block);
+        else
+            st.readSet.insert(block);
+    }
+
+    if (is_write) {
+        if (txnal)
+            st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
+        else
+            ++_writeSeq;
+        _ms.memory().write(addr, value, size);
+        emitTrace(core, "store", addr, value);
+    } else {
+        out.value = _ms.memory().read(addr, size);
+        emitTrace(core, "load", addr, out.value);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Non-transactional accesses
+// ---------------------------------------------------------------------
+
+MemOpOutcome
+TMMachine::plainLoad(CoreId core, Addr addr, unsigned size)
+{
+    if (_cfg.mode == TMMode::Lazy) {
+        // Memory holds only committed data (writes are buffered).
+        mem::AccessResult res = _ms.access(core, blockAddr(addr), false);
+        MemOpOutcome out;
+        out.latency = res.latency;
+        out.value = _ms.memory().read(addr, size);
+        return out;
+    }
+    return eagerAccess(core, addr, false, 0, size, false, false);
+}
+
+MemOpOutcome
+TMMachine::plainStore(CoreId core, Addr addr, Word value, unsigned size)
+{
+    if (_cfg.mode == TMMode::Lazy) {
+        // Acts as a degenerate committed transaction: committer wins.
+        Addr block = blockAddr(addr);
+        for (CoreId c = 0; c < _ms.numCores(); ++c) {
+            if (c == core)
+                continue;
+            CoreTxState &st = *_cores[c];
+            if (st.active() && (st.readSet.count(block) ||
+                                st.writeSet.count(block) ||
+                                st.ssb.find(wordAddr(addr))))
+                doAbort(c, AbortCause::LazyCommitter, true);
+        }
+        mem::AccessResult res = _ms.access(core, block, true);
+        _ms.memory().write(addr, value, size);
+        MemOpOutcome out;
+        out.latency = res.latency;
+        return out;
+    }
+    return eagerAccess(core, addr, true, value, size, false, false);
+}
+
+// ---------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------
+
+MemOpOutcome
+TMMachine::txBegin(CoreId core, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.status == TxStatus::Idle,
+               "txBegin on active transaction (core %u)", core);
+
+    MemOpOutcome out;
+    out.latency = _cfg.beginLatency;
+
+    if (_cfg.mode == TMMode::Serial) {
+        if (_serialLockHolder != kNoCore && _serialLockHolder != core) {
+            out.status = OpStatus::Nack;
+            out.latency = _cfg.nackRetryCycles;
+            return out;
+        }
+        _serialLockHolder = core;
+        out.latency = _cfg.serialLockLatency;
+    }
+
+    if (!is_retry || !st.hasTimestamp) {
+        st.timestamp = _nextTimestamp++;
+        st.hasTimestamp = true;
+    }
+    st.uid = _nextUid++;
+    _activeUids[st.uid] = core;
+    st.status = TxStatus::Active;
+    st.txnStartCycle = _eq.now();
+    emitTrace(core, "begin", 0, st.timestamp);
+    return out;
+}
+
+MemOpOutcome
+TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.status == TxStatus::Active,
+               "txLoad outside active transaction (core %u)", core);
+
+    if (st.earlyViolation)
+        return earlyViolationAbort(core);
+
+    // OneTM overflow handling: acquire the serialization token first.
+    if (st.overflowPending && !st.overflowed) {
+        if (_overflowTokenHolder != kNoCore) {
+            return MemOpOutcome{OpStatus::Nack, _cfg.nackRetryCycles, 0,
+                                std::nullopt};
+        }
+        _overflowTokenHolder = core;
+        st.overflowed = true;
+        st.overflowPending = false;
+        ++_stats.overflows;
+    }
+
+    Addr block = blockAddr(addr);
+    Addr word = wordAddr(addr);
+    unsigned byte_off = byteInWord(addr);
+
+    switch (_cfg.mode) {
+      case TMMode::Serial:
+      case TMMode::Eager:
+        return eagerAccess(core, addr, false, 0, size, true, is_retry);
+
+      case TMMode::Lazy: {
+        if (rtc::SsbEntry *e = st.ssb.find(word)) {
+            MemOpOutcome out;
+            out.value = extractBytes(e->concrete, byte_off, size);
+            out.latency = 1;
+            return out;
+        }
+        mem::AccessResult res = _ms.access(core, block, false);
+        st.readSet.insert(block);
+        MemOpOutcome out;
+        out.latency = res.latency;
+        out.value = _ms.memory().read(addr, size);
+        emitTrace(core, "load", addr, out.value);
+        return out;
+      }
+
+      case TMMode::LazyVB:
+      case TMMode::Retcon: {
+        // Figure 6: SSB, IVB, and data cache checked in parallel.
+        if (_cfg.mode == TMMode::Retcon) {
+            if (rtc::SsbEntry *e = st.ssb.find(word)) {
+                MemOpOutcome out;
+                out.latency = 1;
+                if (addr == e->word && size == e->size) {
+                    // Clean store-to-load bypass: copy the symbolic
+                    // value, flattening the dependence (§4.3).
+                    out.value = extractBytes(e->concrete, 0, size);
+                    out.sym = e->sym;
+                } else {
+                    // Complex sub-word forwarding: pin inputs and
+                    // reconstruct the merged bytes (§4.3).
+                    if (e->sym)
+                        pinEquality(core, e->sym->root);
+                    Word base = _ms.memory().readWord(word);
+                    if (rtc::IvbEntry *ie = st.ivb.find(block)) {
+                        unsigned bw = wordInBlock(addr);
+                        if (!((ie->frozenMask >> bw) & 1))
+                            base = ie->initWords[bw];
+                    }
+                    Word merged = overlayBytes(base, e->concrete,
+                                               byteInWord(e->word),
+                                               e->size);
+                    out.value = extractBytes(merged, byte_off, size);
+                    if (rtc::IvbEntry *ie = st.ivb.find(block)) {
+                        unsigned w = wordInBlock(addr);
+                        ie->readMask |= 1u << w;
+                        ie->eqMask |= 1u << w;
+                    }
+                }
+                emitTrace(core, "load", addr, out.value);
+                return out;
+            }
+        }
+        if (rtc::IvbEntry *e = st.ivb.find(block)) {
+            unsigned w = wordInBlock(addr);
+            e->readMask |= 1u << w;
+            bool frozen = (e->frozenMask >> w) & 1;
+            // A frozen word was overwritten by our own eager store:
+            // loads must see that store (memory holds it — we own the
+            // block). curWords keeps the *pre-store* value, which is
+            // the repair-input snapshot, not the load value.
+            Word base = frozen ? _ms.memory().readWord(word)
+                               : e->initWords[w];
+            MemOpOutcome out;
+            out.latency = 1;
+            out.value = extractBytes(base, byte_off, size);
+            if (_cfg.mode == TMMode::Retcon &&
+                isFullWordAccess(addr, size) && !frozen) {
+                out.sym = rtc::SymTag{word, 0, 8};
+            } else if (!frozen) {
+                e->eqMask |= 1u << w;
+                // Use-time revalidation: an equality-pinned word whose
+                // architectural value already changed dooms this
+                // transaction — abort now rather than let it chase
+                // stale pointers (zombie containment).
+                if (_ms.memory().readWord(word) != e->initWords[w]) {
+                    _predictor.observeViolation(block);
+                    ++_stats.abortsLazyValueMismatch;
+                    doAbort(core, AbortCause::ConstraintViolation,
+                            false);
+                    return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
+                                        std::nullopt};
+                }
+            }
+            emitTrace(core, "load", addr, out.value);
+            return out;
+        }
+        if (!st.ivb.full() && _predictor.shouldTrack(block))
+            return symbolicFirstLoad(core, addr, size, is_retry);
+        return eagerAccess(core, addr, false, 0, size, true, is_retry);
+      }
+
+      case TMMode::DATM: {
+        bool forwarded = false;
+        for (CoreId h = 0; h < _ms.numCores(); ++h) {
+            if (h == core)
+                continue;
+            CoreTxState &hs = *_cores[h];
+            if (!hs.active() || !hs.writeSet.count(block))
+                continue;
+            if (hs.datmPreds.count(st.uid) ||
+                datmCreatesCycle(hs.uid, st.uid)) {
+                // Cyclic dependence: abort the younger (Figure 2b).
+                if (hs.timestamp > st.timestamp) {
+                    datmAbortCascade(h, AbortCause::DatmCycle, true);
+                    continue;
+                }
+                datmAbortCascade(core, AbortCause::DatmCycle, false);
+                return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
+                                    std::nullopt};
+            }
+            st.datmPreds[hs.uid] |= 2; // Dataflow: forwarded value.
+            forwarded = true;
+        }
+        mem::AccessResult res = _ms.access(core, block, false);
+        st.readSet.insert(block);
+        MemOpOutcome out;
+        out.latency = res.latency;
+        out.value = _ms.memory().read(addr, size);
+        if (forwarded) {
+            ++_stats.fwdReads;
+            emitTrace(core, "forward", addr, out.value);
+        } else {
+            emitTrace(core, "load", addr, out.value);
+        }
+        return out;
+      }
+    }
+    panic("unreachable txLoad mode");
+}
+
+MemOpOutcome
+TMMachine::symbolicFirstLoad(CoreId core, Addr addr, unsigned size,
+                             bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    Addr block = blockAddr(addr);
+
+    // The first symbolic load performs a real coherence read, so it
+    // still conflicts with remote speculative *writers* (§4.2: loads
+    // not involved with symbolic repair use the baseline detection;
+    // the repair machinery only tolerates later remote writes).
+    OpStatus s = resolveConflict(core, true, block, false, is_retry);
+    if (s != OpStatus::Ok) {
+        return MemOpOutcome{
+            s, s == OpStatus::Nack ? _cfg.nackRetryCycles : Cycle(0), 0,
+            std::nullopt};
+    }
+
+    mem::AccessResult res = _ms.access(core, block, false);
+
+    std::array<Word, kWordsPerBlock> words{};
+    for (unsigned i = 0; i < kWordsPerBlock; ++i)
+        words[i] = _ms.memory().readWord(block + i * kWordBytes);
+
+    rtc::IvbEntry *e = st.ivb.allocate(block, words);
+    sim_assert(e, "symbolicFirstLoad with full IVB");
+
+    unsigned w = wordInBlock(addr);
+    e->readMask |= 1u << w;
+
+    MemOpOutcome out;
+    out.latency = res.latency;
+    out.value = extractBytes(words[w], byteInWord(addr), size);
+    if (_cfg.mode == TMMode::Retcon && isFullWordAccess(addr, size))
+        out.sym = rtc::SymTag{wordAddr(addr), 0, 8};
+    else
+        e->eqMask |= 1u << w;
+    emitTrace(core, "load", addr, out.value);
+    return out;
+}
+
+MemOpOutcome
+TMMachine::txStore(CoreId core, Addr addr, Word value,
+                   const std::optional<rtc::SymTag> &sym, unsigned size,
+                   bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.status == TxStatus::Active,
+               "txStore outside active transaction (core %u)", core);
+
+    if (st.earlyViolation)
+        return earlyViolationAbort(core);
+
+    if (st.overflowPending && !st.overflowed) {
+        if (_overflowTokenHolder != kNoCore) {
+            return MemOpOutcome{OpStatus::Nack, _cfg.nackRetryCycles, 0,
+                                std::nullopt};
+        }
+        _overflowTokenHolder = core;
+        st.overflowed = true;
+        st.overflowPending = false;
+        ++_stats.overflows;
+    }
+
+    Addr block = blockAddr(addr);
+    Addr word = wordAddr(addr);
+
+    switch (_cfg.mode) {
+      case TMMode::Serial:
+      case TMMode::Eager:
+        return eagerAccess(core, addr, true, value, size, true, is_retry);
+
+      case TMMode::Lazy: {
+        Word base = _ms.memory().readWord(word);
+        if (rtc::SsbEntry *e = st.ssb.find(word))
+            base = e->concrete;
+        Word merged = overlayBytes(base, value, byteInWord(addr), size);
+        bool ok = st.ssb.put(word, merged, std::nullopt, 8);
+        sim_assert(ok, "lazy write buffer is unbounded");
+        st.writeSet.insert(block);
+        emitTrace(core, "store", addr, value);
+        return MemOpOutcome{OpStatus::Ok, 1, 0, std::nullopt};
+      }
+
+      case TMMode::LazyVB:
+        return retconEagerStore(core, addr, value, size, is_retry);
+
+      case TMMode::Retcon: {
+        bool aligned = isFullWordAccess(addr, size);
+        if (sym && aligned) {
+            if (st.ssb.put(word, value, sym, 8)) {
+                if (rtc::IvbEntry *e = st.ivb.find(block))
+                    e->written = true;
+                emitTrace(core, "store", addr, value);
+                return MemOpOutcome{OpStatus::Ok, 1, 0, std::nullopt};
+            }
+            // SSB full: pin the input and store eagerly (sound, not
+            // repairable).
+            pinEquality(core, sym->root);
+        } else if (sym && !aligned) {
+            // Sub-word symbolic data: untrackable (§4.3).
+            pinEquality(core, sym->root);
+        }
+        return retconEagerStore(core, addr, value, size, is_retry);
+      }
+
+      case TMMode::DATM: {
+        // A re-write invalidates values already forwarded to readers:
+        // any transaction that consumed our speculative data for this
+        // block read a stale intermediate value and must abort.
+        for (CoreId s = 0; s < _ms.numCores(); ++s) {
+            if (s == core)
+                continue;
+            CoreTxState &ss = *_cores[s];
+            if (!ss.active())
+                continue;
+            auto it = ss.datmPreds.find(st.uid);
+            if (it != ss.datmPreds.end() && (it->second & 2) &&
+                ss.readSet.count(block) && st.writeSet.count(block)) {
+                datmAbortCascade(s, AbortCause::DatmCascade, true);
+            }
+        }
+        for (CoreId h = 0; h < _ms.numCores(); ++h) {
+            if (h == core)
+                continue;
+            CoreTxState &hs = *_cores[h];
+            if (!hs.active())
+                continue;
+            bool waw = hs.writeSet.count(block);
+            bool anti = hs.readSet.count(block);
+            if (!waw && !anti)
+                continue;
+            if (hs.datmPreds.count(st.uid) ||
+                datmCreatesCycle(hs.uid, st.uid)) {
+                if (hs.timestamp > st.timestamp) {
+                    datmAbortCascade(h, AbortCause::DatmCycle, true);
+                    continue;
+                }
+                datmAbortCascade(core, AbortCause::DatmCycle, false);
+                return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
+                                    std::nullopt};
+            }
+            // WAW: our write layers above theirs (dataflow); pure
+            // read-before-write is anti ordering only.
+            st.datmPreds[hs.uid] |= waw ? 2 : 1;
+        }
+        mem::AccessResult res = _ms.access(core, block, true);
+        st.writeSet.insert(block);
+        st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
+        _ms.memory().write(addr, value, size);
+        emitTrace(core, "store", addr, value);
+        return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
+      }
+    }
+    panic("unreachable txStore mode");
+}
+
+MemOpOutcome
+TMMachine::retconEagerStore(CoreId core, Addr addr, Word value,
+                            unsigned size, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    Addr block = blockAddr(addr);
+    Addr word = wordAddr(addr);
+
+    // A normal store invalidates any SSB entry for the address
+    // (Figure 8, time 10) and writes speculatively into the cache.
+    st.ssb.invalidate(word);
+
+    // Acquire the block eagerly *first*: conflict resolution must run
+    // before we look at the word's pre-store value, otherwise we could
+    // freeze a remote core's uncommitted data.
+    OpStatus s = resolveConflict(core, true, block, true, is_retry);
+    if (s != OpStatus::Ok) {
+        MemOpOutcome out;
+        out.status = s;
+        out.latency = s == OpStatus::Nack ? _cfg.nackRetryCycles : 0;
+        return out;
+    }
+    mem::AccessResult res = _ms.access(core, block, true);
+
+    // Storing into a value-tracked word fixes its input value: validate
+    // the pre-store (now conflict-free) value and freeze it so the
+    // pre-commit walk never compares the word against our own store.
+    if (rtc::IvbEntry *e = st.ivb.find(block)) {
+        unsigned w = wordInBlock(addr);
+        bool already_frozen = (e->frozenMask >> w) & 1;
+        if (!already_frozen) {
+            Word pre = _ms.memory().readWord(word);
+            bool value_sensitive =
+                ((e->readMask >> w) & 1) && ((e->eqMask >> w) & 1);
+            if (value_sensitive && pre != e->initWords[w]) {
+                _predictor.observeViolation(block);
+                ++_stats.abortsLazyValueMismatch;
+                doAbort(core, AbortCause::ConstraintViolation, false);
+                return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
+                                    std::nullopt};
+            }
+            if (!st.constraints.satisfied(
+                    word, static_cast<std::int64_t>(pre))) {
+                _predictor.observeViolation(block);
+                doAbort(core, AbortCause::ConstraintViolation, false);
+                return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
+                                    std::nullopt};
+            }
+            e->curWords[w] = pre;
+            e->frozenMask |= 1u << w;
+        }
+    }
+
+    st.writeSet.insert(block);
+    st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
+    _ms.memory().write(addr, value, size);
+    emitTrace(core, "store", addr, value);
+    return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
+}
+
+void
+TMMachine::recordBranchConstraint(CoreId core, const rtc::SymTag &sym,
+                                  rtc::CmpOp op, std::int64_t rhs,
+                                  bool taken)
+{
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.status == TxStatus::Active,
+               "branch constraint outside transaction");
+    if (_cfg.mode != TMMode::Retcon) {
+        return;
+    }
+    rtc::CmpOp eff = taken ? op : rtc::negate(op);
+    // Normalize ([root] + delta) OP rhs  to  [root] OP (rhs - delta).
+    std::int64_t k = rhs - sym.delta;
+    auto r = st.constraints.record(sym.root, eff, k);
+    switch (r) {
+      case rtc::ConstraintBuffer::Record::Ok:
+        break;
+      case rtc::ConstraintBuffer::Record::Full:
+      case rtc::ConstraintBuffer::Record::Inexact:
+        pinEquality(core, sym.root);
+        break;
+      case rtc::ConstraintBuffer::Record::Unsat:
+        panic("constraint set excludes the executed value");
+    }
+}
+
+void
+TMMachine::pinEquality(CoreId core, Addr root)
+{
+    CoreTxState &st = *_cores[core];
+    Addr block = blockAddr(root);
+    rtc::IvbEntry *e = st.ivb.find(block);
+    sim_assert(e, "equality pin for untracked root");
+    unsigned w = wordInBlock(root);
+    if ((e->frozenMask >> w) & 1)
+        return; // Input already fixed and validated.
+    e->eqMask |= 1u << w;
+    e->readMask |= 1u << w;
+    // Use-time revalidation (zombie containment). This runs between
+    // instructions where aborting is unsafe; flag the violation and
+    // let the next machine operation convert it into an abort.
+    if (_ms.memory().readWord(root) != e->initWords[w]) {
+        st.earlyViolation = true;
+        st.earlyViolationBlock = block;
+    }
+}
+
+MemOpOutcome
+TMMachine::earlyViolationAbort(CoreId core)
+{
+    CoreTxState &st = *_cores[core];
+    _predictor.observeViolation(st.earlyViolationBlock);
+    ++_stats.abortsLazyValueMismatch;
+    doAbort(core, AbortCause::ConstraintViolation, false);
+    return MemOpOutcome{OpStatus::AbortSelf, 0, 0, std::nullopt};
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+TMMachine::noteSymRegsRepaired(CoreId core, std::uint64_t n)
+{
+    _cores[core]->symRegsRepaired = n;
+}
+
+Word
+TMMachine::finalRootValue(CoreId core, Addr root) const
+{
+    const CoreTxState &st = *_cores[core];
+    auto it = st.finalRoots.find(root);
+    sim_assert(it != st.finalRoots.end(),
+               "no final value for root 0x%llx",
+               static_cast<unsigned long long>(root));
+    return it->second;
+}
+
+bool
+TMMachine::wouldTrack(Addr block) const
+{
+    return (_cfg.mode == TMMode::Retcon || _cfg.mode == TMMode::LazyVB) &&
+           _predictor.shouldTrack(block);
+}
+
+CommitStepOutcome
+TMMachine::commitStep(CoreId core, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    sim_assert(st.active(), "commitStep on idle core %u", core);
+
+    if (st.status == TxStatus::Active) {
+        st.status = TxStatus::Committing;
+        st.commitPhase = 0;
+    }
+
+    CommitStepOutcome out;
+    switch (_cfg.mode) {
+      case TMMode::Serial:
+      case TMMode::Eager:
+      case TMMode::DATM:
+        if (_cfg.mode == TMMode::DATM) {
+            // Globally-enforced commit order: wait for predecessors.
+            for (const auto &[p, flags] : st.datmPreds) {
+                if (_activeUids.count(p)) {
+                    out.status = OpStatus::Nack;
+                    out.latency = _cfg.nackRetryCycles;
+                    st.commitCycles += out.latency;
+                    return out;
+                }
+            }
+        }
+        if (st.commitPhase == 0) {
+            st.commitPhase = 3;
+            out.latency = _cfg.commitTokenLatency;
+            st.commitCycles += out.latency;
+            return out;
+        }
+        return finalizeCommit(core);
+
+      case TMMode::Lazy:
+        return commitStepLazy(core, is_retry);
+
+      case TMMode::LazyVB:
+      case TMMode::Retcon:
+        return commitStepRetcon(core, is_retry);
+    }
+    panic("unreachable commitStep mode");
+}
+
+CommitStepOutcome
+TMMachine::commitStepRetcon(CoreId core, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    CommitStepOutcome out;
+
+    if (st.commitPhase == 0) {
+        st.commitPhase = 1;
+        st.commitIvbIdx = 0;
+        st.commitSsbIdx = 0;
+        out.latency = _cfg.commitTokenLatency;
+        st.commitCycles += out.latency;
+        return out;
+    }
+
+    // Phase 1 (Figure 7, step 1): reacquire lost blocks, validate.
+    if (st.commitPhase == 1) {
+        if (st.commitIvbIdx >= st.ivb.entries().size()) {
+            st.commitPhase = 2;
+            return commitStepRetcon(core, is_retry);
+        }
+        std::size_t count = _cfg.parallelReacquire
+                                ? st.ivb.entries().size() -
+                                      st.commitIvbIdx
+                                : 1;
+        Cycle max_lat = 0;
+        for (std::size_t n = 0; n < count; ++n) {
+            rtc::IvbEntry &e = st.ivb.entries()[st.commitIvbIdx];
+            bool want_write = e.written; // §4.4 upgrade-miss avoidance.
+            bool have = want_write
+                            ? _ms.hasWritePerm(core, e.block)
+                            : _ms.hasReadPerm(core, e.block);
+            Cycle lat = _ms.timing().l1Hit;
+            if (!have) {
+                OpStatus s = resolveConflict(core, true, e.block,
+                                             want_write, is_retry);
+                if (s == OpStatus::Nack) {
+                    out.status = OpStatus::Nack;
+                    out.latency = _cfg.nackRetryCycles;
+                    st.commitCycles += out.latency;
+                    return out;
+                }
+                if (s == OpStatus::AbortSelf) {
+                    out.status = OpStatus::AbortSelf;
+                    out.latency = 0;
+                    return out;
+                }
+                mem::AccessResult res =
+                    _ms.access(core, e.block, want_write);
+                lat = res.latency;
+            }
+            // Protect the block eagerly for the rest of the commit
+            // (Figure 7 sets the speculatively-read bit).
+            st.readSet.insert(e.block);
+            if (want_write)
+                st.writeSet.insert(e.block);
+
+            // Refresh final values and check all constraints.
+            for (unsigned w = 0; w < kWordsPerBlock; ++w) {
+                if (!((e.frozenMask >> w) & 1)) {
+                    e.curWords[w] = _ms.memory().readWord(
+                        e.block + w * kWordBytes);
+                }
+                bool read = (e.readMask >> w) & 1;
+                if (!read)
+                    continue;
+                bool eq = (e.eqMask >> w) & 1;
+                if (eq && !((e.frozenMask >> w) & 1) &&
+                    e.curWords[w] != e.initWords[w]) {
+                    _predictor.observeViolation(e.block);
+                    doAbort(core, AbortCause::ConstraintViolation,
+                            false);
+                    out.status = OpStatus::AbortSelf;
+                    out.latency = 0;
+                    ++_stats.abortsLazyValueMismatch;
+                    return out;
+                }
+                Addr word_addr = e.block + w * kWordBytes;
+                if (!st.constraints.satisfied(
+                        word_addr,
+                        static_cast<std::int64_t>(e.curWords[w]))) {
+                    _predictor.observeViolation(e.block);
+                    doAbort(core, AbortCause::ConstraintViolation,
+                            false);
+                    out.status = OpStatus::AbortSelf;
+                    out.latency = 0;
+                    return out;
+                }
+            }
+            ++st.commitIvbIdx;
+            max_lat = std::max(max_lat, lat);
+        }
+        out.latency = max_lat;
+        st.commitCycles += out.latency;
+        emitTrace(core, "repair", 0, 0);
+        return out;
+    }
+
+    // Phase 2 (Figure 7, step 2): drain the symbolic store buffer.
+    if (st.commitPhase == 2) {
+        if (st.commitSsbIdx >= st.ssb.entries().size()) {
+            st.commitPhase = 3;
+            return finalizeCommit(core);
+        }
+        rtc::SsbEntry &e = st.ssb.entries()[st.commitSsbIdx];
+        Addr block = blockAddr(e.word);
+        Cycle lat = _ms.timing().l1Hit;
+        if (!_ms.hasWritePerm(core, block)) {
+            OpStatus s =
+                resolveConflict(core, true, block, true, is_retry);
+            if (s == OpStatus::Nack) {
+                out.status = OpStatus::Nack;
+                out.latency = _cfg.nackRetryCycles;
+                st.commitCycles += out.latency;
+                return out;
+            }
+            if (s == OpStatus::AbortSelf) {
+                out.status = OpStatus::AbortSelf;
+                out.latency = 0;
+                return out;
+            }
+            mem::AccessResult res = _ms.access(core, block, true);
+            lat = res.latency;
+        }
+        st.writeSet.insert(block);
+        Word value = e.concrete;
+        if (e.sym) {
+            rtc::IvbEntry *root_entry =
+                st.ivb.find(blockAddr(e.sym->root));
+            sim_assert(root_entry, "symbolic store with untracked root");
+            Word root_val =
+                root_entry->curWords[wordInBlock(e.sym->root)];
+            value = rtc::evalSym(*e.sym, root_val);
+        }
+        st.undo.record(e.word, _ms.memory().readWord(e.word),
+                       _writeSeq++);
+        _ms.memory().write(e.word, value, e.size);
+        emitTrace(core, "repair-store", e.word, value);
+        ++st.commitSsbIdx;
+        out.latency = _cfg.freeCommitStores ? 0 : lat;
+        st.commitCycles += out.latency;
+        return out;
+    }
+
+    return finalizeCommit(core);
+}
+
+CommitStepOutcome
+TMMachine::commitStepLazy(CoreId core, bool is_retry)
+{
+    CoreTxState &st = *_cores[core];
+    CommitStepOutcome out;
+
+    if (st.commitPhase == 0) {
+        if (_lazyCommitToken != kNoCore && _lazyCommitToken != core) {
+            out.status = OpStatus::Nack;
+            out.latency = _cfg.nackRetryCycles;
+            st.commitCycles += out.latency;
+            return out;
+        }
+        _lazyCommitToken = core;
+        st.commitPhase = 2;
+        st.commitSsbIdx = 0;
+        out.latency = _cfg.commitTokenLatency;
+        st.commitCycles += out.latency;
+        return out;
+    }
+
+    if (st.commitPhase == 2) {
+        if (st.commitSsbIdx >= st.ssb.entries().size()) {
+            st.commitPhase = 3;
+            return finalizeCommit(core);
+        }
+        rtc::SsbEntry &e = st.ssb.entries()[st.commitSsbIdx];
+        Addr block = blockAddr(e.word);
+        // Committer wins: every other transaction that touched this
+        // block aborts (Figure 2e).
+        for (CoreId c = 0; c < _ms.numCores(); ++c) {
+            if (c == core)
+                continue;
+            CoreTxState &cs = *_cores[c];
+            if (!cs.active())
+                continue;
+            bool touched = cs.readSet.count(block) ||
+                           cs.writeSet.count(block);
+            if (touched)
+                doAbort(c, AbortCause::LazyCommitter, true);
+        }
+        mem::AccessResult res = _ms.access(core, block, true);
+        _ms.memory().writeWord(e.word, e.concrete);
+        ++st.commitSsbIdx;
+        out.latency = res.latency;
+        st.commitCycles += out.latency;
+        return out;
+    }
+
+    return finalizeCommit(core);
+}
+
+CommitStepOutcome
+TMMachine::finalizeCommit(CoreId core)
+{
+    CoreTxState &st = *_cores[core];
+
+    // Publish final root values for symbolic register repair.
+    st.finalRoots.clear();
+    for (const rtc::IvbEntry &e : st.ivb.entries())
+        for (unsigned w = 0; w < kWordsPerBlock; ++w)
+            st.finalRoots[e.block + w * kWordBytes] = e.curWords[w];
+
+    sampleTxnStats(core);
+
+    if (_serialLockHolder == core)
+        _serialLockHolder = kNoCore;
+    if (_overflowTokenHolder == core)
+        _overflowTokenHolder = kNoCore;
+    if (_lazyCommitToken == core)
+        _lazyCommitToken = kNoCore;
+    _activeUids.erase(st.uid);
+
+    st.resetSpeculation();
+    st.hasTimestamp = false;
+    ++_stats.commits;
+    emitTrace(core, "commit", 0, 0);
+
+    CommitStepOutcome out;
+    out.done = true;
+    out.latency = 1;
+    return out;
+}
+
+void
+TMMachine::sampleTxnStats(CoreId core)
+{
+    CoreTxState &st = *_cores[core];
+    _stats.blocksLost.sample(static_cast<double>(st.ivb.lostCount()));
+    _stats.blocksTracked.sample(static_cast<double>(st.ivb.size()));
+    _stats.symRegs.sample(static_cast<double>(st.symRegsRepaired));
+    _stats.privateStores.sample(static_cast<double>(st.ssb.size()));
+    _stats.constraintAddrs.sample(
+        static_cast<double>(st.constraints.size()));
+    _stats.commitCycles.sample(static_cast<double>(st.commitCycles));
+    _stats.totalCommitCycles += static_cast<double>(st.commitCycles);
+    _stats.totalTxnCycles +=
+        static_cast<double>(_eq.now() - st.txnStartCycle);
+}
+
+} // namespace retcon::htm

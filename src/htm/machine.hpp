@@ -1,0 +1,252 @@
+/**
+ * @file
+ * TMMachine: the transactional memory logic for every mode.
+ *
+ * The execution layer (src/exec) drives one TMMachine shared by all
+ * cores. Each operation is synchronous: the machine applies all
+ * functional and coherence state changes and returns the latency the
+ * calling core must wait before continuing, or NACK/abort outcomes.
+ * Remote aborts decided during conflict resolution are performed
+ * immediately (rollback restores memory before the winner proceeds —
+ * the paper's zero-cycle rollback baseline) and reported through the
+ * remote-abort callback so the execution layer can restart the victim.
+ *
+ * Mode map:
+ *  - Serial: global lock, no speculation (sequential baseline / GIL).
+ *  - Eager:  baseline HTM of §2 (eager detection + eager versioning,
+ *            timestamp oldest-wins CM, permissions-only cache + OneTM).
+ *  - Lazy:   TCC-style committer-wins (Figure 2e).
+ *  - LazyVB: the paper's lazy-vb — predictor-selected blocks validate
+ *            by value at commit, no repair (§5.1).
+ *  - Retcon: full symbolic tracking + pre-commit repair (§4, Figure 7).
+ *  - DATM:   dependence-aware forwarding (Figure 2b), microbench-grade.
+ */
+
+#ifndef RETCON_HTM_MACHINE_HPP
+#define RETCON_HTM_MACHINE_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "htm/tx_state.hpp"
+#include "htm/types.hpp"
+#include "mem/memory_system.hpp"
+#include "retcon/predictor.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace retcon::htm {
+
+/** Aggregate machine statistics, including Table 3 columns. */
+struct MachineStats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t abortsByCause[10] = {};
+    std::uint64_t conflicts = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t fwdReads = 0; ///< DATM forwarded loads.
+    std::uint64_t abortsLazyValueMismatch = 0; ///< Equality-bit misses.
+
+    AvgMax blocksLost;
+    AvgMax blocksTracked;
+    AvgMax symRegs;
+    AvgMax privateStores;
+    AvgMax constraintAddrs;
+    AvgMax commitCycles;
+    double totalCommitCycles = 0;
+    double totalTxnCycles = 0;
+
+    /** Commit-stall percentage (Table 3 last column). */
+    double
+    commitStallPct() const
+    {
+        return totalTxnCycles > 0
+                   ? 100.0 * totalCommitCycles / totalTxnCycles
+                   : 0.0;
+    }
+};
+
+/** The shared transactional machine. */
+class TMMachine : public mem::CoherenceListener
+{
+  public:
+    /** Called when a core's transaction is aborted by a remote event. */
+    using RemoteAbortFn = std::function<void(CoreId, AbortCause)>;
+
+    /** Timeline hook for the Figure 2 bench. */
+    using TraceFn = std::function<void(const TraceEvent &)>;
+
+    TMMachine(EventQueue &eq, mem::MemorySystem &ms, const TMConfig &cfg);
+    ~TMMachine();
+
+    TMMachine(const TMMachine &) = delete;
+    TMMachine &operator=(const TMMachine &) = delete;
+
+    void setRemoteAbortHandler(RemoteAbortFn fn) { _onRemoteAbort = fn; }
+    void setTraceHook(TraceFn fn) { _trace = fn; }
+
+    // ---- Non-transactional accesses -------------------------------
+    MemOpOutcome plainLoad(CoreId core, Addr addr, unsigned size = 8);
+    MemOpOutcome plainStore(CoreId core, Addr addr, Word value,
+                            unsigned size = 8);
+
+    // ---- Transaction lifecycle ------------------------------------
+    /**
+     * Begin (or re-begin after NACK) a transaction. May NACK when a
+     * global token (Serial lock, overflow token) is unavailable.
+     */
+    MemOpOutcome txBegin(CoreId core, bool is_retry);
+
+    /** Transactional load. */
+    MemOpOutcome txLoad(CoreId core, Addr addr, unsigned size = 8,
+                        bool is_retry = false);
+
+    /**
+     * Transactional store. @p sym carries the symbolic tag of the data
+     * register, when the executing value is being tracked.
+     */
+    MemOpOutcome txStore(CoreId core, Addr addr, Word value,
+                         const std::optional<rtc::SymTag> &sym,
+                         unsigned size = 8, bool is_retry = false);
+
+    /**
+     * Drive one step of the commit process (pre-commit repair walk for
+     * RETCON/LazyVB, write-buffer drain for Lazy, finalization for
+     * all). Call repeatedly until `done` or `AbortSelf`.
+     */
+    CommitStepOutcome commitStep(CoreId core, bool is_retry = false);
+
+    /** Record how many symbolic registers the exec layer repaired. */
+    void noteSymRegsRepaired(CoreId core, std::uint64_t n);
+
+    /**
+     * Record the control-flow constraint implied by a branch on a
+     * symbolic value: `([root] + delta) OP rhs` held (@p taken true) or
+     * did not hold. Falls back to an equality pin when the constraint
+     * buffer is full or the constraint is not interval-representable.
+     */
+    void recordBranchConstraint(CoreId core, const rtc::SymTag &sym,
+                                rtc::CmpOp op, std::int64_t rhs,
+                                bool taken);
+
+    /**
+     * Pin @p root with an equality constraint (§4.2): the symbolic
+     * input was used in a way that cannot be tracked (address
+     * computation, complex arithmetic, second symbolic operand).
+     */
+    void pinEquality(CoreId core, Addr root);
+
+    // ---- mem::CoherenceListener ------------------------------------
+    void onRemoteTake(CoreId victim, Addr block, CoreId by,
+                      bool by_write) override;
+    void onCapacityEvict(CoreId victim, Addr block) override;
+
+    /** Abort the local transaction (explicit workload abort). */
+    void abortSelf(CoreId core, AbortCause cause);
+
+    // ---- Queries ----------------------------------------------------
+    TxStatus status(CoreId core) const { return _cores[core]->status; }
+
+    /** Final value of a symbolic root after commit repair. */
+    Word finalRootValue(CoreId core, Addr root) const;
+
+    /** Whether @p block would currently be tracked symbolically. */
+    bool wouldTrack(Addr block) const;
+
+    rtc::ConflictPredictor &predictor() { return _predictor; }
+    const TMConfig &config() const { return _cfg; }
+    const MachineStats &stats() const { return _stats; }
+    MachineStats &stats() { return _stats; }
+    mem::MemorySystem &memorySystem() { return _ms; }
+    CoreTxState &coreState(CoreId core) { return *_cores[core]; }
+
+  private:
+    EventQueue &_eq;
+    mem::MemorySystem &_ms;
+    TMConfig _cfg;
+    rtc::ConflictPredictor _predictor;
+    std::vector<std::unique_ptr<CoreTxState>> _cores;
+    RemoteAbortFn _onRemoteAbort;
+    TraceFn _trace;
+    MachineStats _stats;
+
+    std::uint64_t _nextTimestamp = 1;
+    std::uint64_t _nextUid = 1;
+    std::uint64_t _writeSeq = 1;
+
+    /// Global tokens.
+    CoreId _serialLockHolder = kNoCore;
+    CoreId _overflowTokenHolder = kNoCore;
+    CoreId _lazyCommitToken = kNoCore;
+
+    /// DATM: uid -> core for still-active attempts.
+    std::unordered_map<std::uint64_t, CoreId> _activeUids;
+
+    // ---- Internal helpers -------------------------------------------
+    struct ConflictInfo {
+        std::vector<CoreId> holders;
+        bool anyOlder = false;
+    };
+
+    /** Effective age for arbitration (overflowed = oldest, non-tx = 0). */
+    std::uint64_t effectiveTs(CoreId core, bool txnal) const;
+
+    /** Find eager conflicts for an access. */
+    ConflictInfo findConflicts(CoreId requester, Addr block,
+                               bool is_write) const;
+
+    /**
+     * Resolve an eager conflict per the CM policy. Aborts losers as a
+     * side effect. @return the outcome status for the requester.
+     */
+    OpStatus resolveConflict(CoreId requester, bool requester_txnal,
+                             Addr block, bool is_write, bool is_retry);
+
+    /** Roll back and reset @p core's transaction. */
+    void doAbort(CoreId core, AbortCause cause, bool notify_exec);
+
+    /** DATM: abort @p core and all transitive successors. */
+    void datmAbortCascade(CoreId core, AbortCause cause, bool notify_exec);
+
+    /** DATM: would adding edge pred->succ create a dependence cycle? */
+    bool datmCreatesCycle(std::uint64_t pred_uid,
+                          std::uint64_t succ_uid) const;
+
+    /** Mark a block's speculative bit placement; detects overflow. */
+    void noteSpecBlock(CoreId core, Addr block);
+
+    /** Common eager load/store path (also Serial, untracked RETCON). */
+    MemOpOutcome eagerAccess(CoreId core, Addr addr, bool is_write,
+                             Word value, unsigned size, bool txnal,
+                             bool is_retry);
+
+    /** RETCON/LazyVB: initial symbolic load of an untracked block. */
+    MemOpOutcome symbolicFirstLoad(CoreId core, Addr addr, unsigned size,
+                                   bool is_retry);
+
+    /**
+     * RETCON/LazyVB eager store path: invalidates any SSB entry for
+     * the word and freezes value-tracked words it overwrites.
+     */
+    MemOpOutcome retconEagerStore(CoreId core, Addr addr, Word value,
+                                  unsigned size, bool is_retry);
+
+    /** Convert a deferred use-time validation failure into an abort. */
+    MemOpOutcome earlyViolationAbort(CoreId core);
+
+    /** Commit-phase helpers. */
+    CommitStepOutcome commitStepRetcon(CoreId core, bool is_retry);
+    CommitStepOutcome commitStepLazy(CoreId core, bool is_retry);
+    CommitStepOutcome finalizeCommit(CoreId core);
+
+    void sampleTxnStats(CoreId core);
+    void emitTrace(CoreId core, const char *kind, Addr addr, Word value);
+
+    friend class MachineTestPeer;
+};
+
+} // namespace retcon::htm
+
+#endif // RETCON_HTM_MACHINE_HPP

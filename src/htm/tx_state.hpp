@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-core transactional state.
+ *
+ * Groups everything a core's in-flight transaction owns: the eager
+ * read/write sets (conflict detection via the coherence protocol), the
+ * undo log (eager version management), the RETCON structures (IVB,
+ * constraint buffer, SSB), the modeled permissions-only cache that
+ * absorbs speculative bits evicted from the L2 (OneTM backing, §2), the
+ * DATM dependence bookkeeping, and the pre-commit walk cursor.
+ */
+
+#ifndef RETCON_HTM_TX_STATE_HPP
+#define RETCON_HTM_TX_STATE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "htm/types.hpp"
+#include "htm/undo_log.hpp"
+#include "mem/cache.hpp"
+#include "retcon/constraint_buffer.hpp"
+#include "retcon/ivb.hpp"
+#include "retcon/ssb.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::htm {
+
+/** Per-transaction statistics sampled at commit (Table 3 inputs). */
+struct TxnSample {
+    std::uint64_t blocksLost = 0;
+    std::uint64_t blocksTracked = 0;
+    std::uint64_t symRegsRepaired = 0;
+    std::uint64_t privateStores = 0;
+    std::uint64_t constraintAddrs = 0;
+    Cycle commitCycles = 0;
+    Cycle lifetimeCycles = 0;
+};
+
+/** Everything one core's current transaction owns. */
+struct CoreTxState {
+    CoreTxState(const TMConfig &cfg, const mem::CacheGeometry &perm_geom)
+        : ivb(cfg.unlimitedState ? SIZE_MAX : cfg.ivbEntries),
+          constraints(cfg.unlimitedState ? SIZE_MAX : cfg.constraintEntries),
+          ssb(cfg.unlimitedState ? SIZE_MAX : cfg.ssbEntries),
+          permCache(perm_geom)
+    {}
+
+    TxStatus status = TxStatus::Idle;
+
+    /// Timestamp for oldest-wins arbitration; kept across retries so an
+    /// aborted transaction ages toward winning (forward progress, §2).
+    std::uint64_t timestamp = 0;
+    bool hasTimestamp = false;
+
+    /// Unique id of the current *attempt* (DATM dependence edges).
+    std::uint64_t uid = 0;
+
+    /// Eager conflict-detection sets, block granularity (the modeled
+    /// speculatively-read/-written cache bits).
+    std::unordered_set<Addr> readSet;
+    std::unordered_set<Addr> writeSet;
+
+    UndoLog undo;
+
+    /// RETCON structures (Figure 5). The SSB doubles as the lazy-mode
+    /// write buffer (entries with sym == nullopt).
+    rtc::InitialValueBuffer ivb;
+    rtc::ConstraintBuffer constraints;
+    rtc::SymbolicStoreBuffer ssb;
+
+    /// Permissions-only cache occupancy model: spec blocks evicted from
+    /// the L2 land here; evicting a spec block *from here* overflows the
+    /// transaction into the OneTM serialized mode.
+    mem::SetAssocCache permCache;
+    bool overflowed = false;
+    bool overflowPending = false;
+
+    /// DATM: uid -> edge kind of transactions that must commit before
+    /// this one. Bit 0: anti/output ordering only; bit 1: dataflow
+    /// (this transaction consumed or overwrote the predecessor's
+    /// speculative data, so the predecessor's abort cascades here).
+    std::unordered_map<std::uint64_t, std::uint8_t> datmPreds;
+
+    /// Pre-commit walk cursor.
+    int commitPhase = 0;
+    std::size_t commitIvbIdx = 0;
+    std::size_t commitSsbIdx = 0;
+
+    Cycle txnStartCycle = 0;
+    Cycle commitCycles = 0;
+    std::uint64_t symRegsRepaired = 0;
+
+    /// Root word -> final value map, published at commit for the
+    /// execution layer to repair symbolic register values.
+    std::unordered_map<Addr, Word> finalRoots;
+
+    /// Block that most recently NACKed us (dedupes predictor training
+    /// across the retry loop for the same request).
+    Addr lastNackBlock = static_cast<Addr>(-1);
+
+    /// A use-time equality validation already failed (set from a
+    /// context that cannot abort, e.g. mid-instruction reify); the
+    /// next machine operation converts it into an abort.
+    bool earlyViolation = false;
+    Addr earlyViolationBlock = 0;
+
+    bool active() const { return status != TxStatus::Idle; }
+
+    /** Reset all speculative state (after commit or abort). */
+    void
+    resetSpeculation()
+    {
+        readSet.clear();
+        writeSet.clear();
+        undo.clear();
+        ivb.clear();
+        constraints.clear();
+        ssb.clear();
+        permCache.clear();
+        datmPreds.clear();
+        overflowed = false;
+        overflowPending = false;
+        commitPhase = 0;
+        commitIvbIdx = 0;
+        commitSsbIdx = 0;
+        commitCycles = 0;
+        symRegsRepaired = 0;
+        lastNackBlock = static_cast<Addr>(-1);
+        earlyViolation = false;
+        earlyViolationBlock = 0;
+        status = TxStatus::Idle;
+    }
+};
+
+} // namespace retcon::htm
+
+#endif // RETCON_HTM_TX_STATE_HPP

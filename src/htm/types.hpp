@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared vocabulary types for the transactional memory machine.
+ */
+
+#ifndef RETCON_HTM_TYPES_HPP
+#define RETCON_HTM_TYPES_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "retcon/predictor.hpp"
+#include "retcon/symbolic.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::htm {
+
+/** Concurrency-control mode of the machine (one mode per run). */
+enum class TMMode : std::uint8_t {
+    Serial,   ///< Transactions serialize on a global lock (no speculation).
+    Eager,    ///< Baseline HTM: eager conflict detection + version mgmt.
+    Lazy,     ///< TCC-style: buffered writes, committer-wins at commit.
+    LazyVB,   ///< RETCON variant: value-based read validation, no repair.
+    Retcon,   ///< Full RETCON: symbolic tracking + commit-time repair.
+    DATM,     ///< Dependence-aware TM: speculative value forwarding.
+};
+
+/** Name string for reports. */
+const char *tmModeName(TMMode m);
+
+/** Contention-management policy for eager conflicts (§2). */
+enum class CMPolicy : std::uint8_t {
+    OldestWins,      ///< Timestamp policy: younger side aborts/stalls.
+    RequesterLoses,  ///< Requester aborts itself (Figure 2c).
+    RequesterWins,   ///< Holders abort (livelock-prone; for the ablation).
+};
+
+const char *cmPolicyName(CMPolicy p);
+
+/** Lifecycle state of a core's current transaction. */
+enum class TxStatus : std::uint8_t { Idle, Active, Committing };
+
+/** Why a transaction aborted. */
+enum class AbortCause : std::uint8_t {
+    None,
+    Conflict,            ///< Lost an eager conflict.
+    ConstraintViolation, ///< RETCON commit-time check failed.
+    LazyValidation,      ///< lazy-vb value mismatch at commit.
+    LazyCommitter,       ///< Aborted by a lazy committer's write set.
+    DatmCycle,           ///< Cyclic dependence (DATM).
+    DatmCascade,         ///< Cascaded abort of a forwarded value (DATM).
+    Overflow,            ///< Could not obtain the OneTM overflow token.
+    Explicit,            ///< Workload-requested abort.
+    Zombie,              ///< Doomed transaction exceeded the op bound.
+};
+
+const char *abortCauseName(AbortCause c);
+
+/** Status of one machine operation as seen by the executing core. */
+enum class OpStatus : std::uint8_t {
+    Ok,        ///< Operation performed; continue after `latency`.
+    Nack,      ///< Stalled by contention management; retry later.
+    AbortSelf, ///< This core's transaction was aborted (already rolled
+               ///< back); restart the transaction.
+};
+
+/** Result of a load/store/begin operation. */
+struct MemOpOutcome {
+    OpStatus status = OpStatus::Ok;
+    Cycle latency = 1;
+    Word value = 0;
+    std::optional<rtc::SymTag> sym;
+};
+
+/** Result of one pre-commit/commit step. */
+struct CommitStepOutcome {
+    OpStatus status = OpStatus::Ok;
+    Cycle latency = 1;
+    bool done = false;
+};
+
+/** Machine configuration (Table 1 defaults). */
+struct TMConfig {
+    TMMode mode = TMMode::Eager;
+    CMPolicy cmPolicy = CMPolicy::OldestWins;
+
+    /// RETCON structure capacities (Table 1).
+    std::size_t ivbEntries = 16;
+    std::size_t constraintEntries = 16;
+    std::size_t ssbEntries = 32;
+
+    rtc::ConflictPredictor::Config predictor{};
+
+    /// §5.3 idealized-RETCON knobs.
+    bool unlimitedState = false;     ///< No structure capacity limits.
+    bool parallelReacquire = false;  ///< Pre-commit reacquires overlap.
+    bool freeCommitStores = false;   ///< Commit-time stores cost nothing.
+
+    Cycle nackRetryCycles = 25;   ///< Backoff before retrying a NACK.
+    Cycle beginLatency = 2;       ///< Transaction begin overhead.
+    Cycle commitTokenLatency = 2; ///< Baseline commit overhead.
+    Cycle abortRollbackCycles = 0; ///< §2: zero-cycle rollback baseline.
+    Cycle serialLockLatency = 40; ///< Global-lock handoff (Serial mode).
+
+    /**
+     * Zombie containment: value-based modes execute on snapshot values,
+     * so a doomed transaction can chase stale pointers through an
+     * inconsistent structure indefinitely. Early validation (eq-pinned
+     * words are revalidated on use) catches almost all of these; this
+     * per-attempt memory-operation bound is the backstop.
+     */
+    std::uint64_t zombieOpLimit = 100000;
+};
+
+/** Observable machine events (used by the Figure 2 timeline bench). */
+struct TraceEvent {
+    Cycle cycle;
+    CoreId core;
+    const char *kind; ///< "begin", "load", "store", "abort", "commit",
+                      ///< "repair", "forward", "nack".
+    Addr addr;
+    Word value;
+};
+
+} // namespace retcon::htm
+
+#endif // RETCON_HTM_TYPES_HPP

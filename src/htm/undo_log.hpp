@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Eager version management: per-transaction undo log.
+ *
+ * The baseline HTM (§2) uses eager version management — speculative
+ * stores update memory in place and log the previous value. Rollback
+ * restores entries newest-first. Entries carry a global sequence number
+ * so that DATM cascades can merge logs from several transactions and
+ * still restore in correct reverse write order.
+ */
+
+#ifndef RETCON_HTM_UNDO_LOG_HPP
+#define RETCON_HTM_UNDO_LOG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/sparse_memory.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::htm {
+
+/** One logged pre-image. */
+struct UndoEntry {
+    Addr word;          ///< Word-aligned address.
+    Word oldValue;      ///< Full pre-image of the word.
+    std::uint64_t seq;  ///< Global write sequence number.
+};
+
+/** Append-only undo log with newest-first rollback. */
+class UndoLog
+{
+  public:
+    /** Log the current value of @p word before a speculative store. */
+    void
+    record(Addr word, Word old_value, std::uint64_t seq)
+    {
+        _entries.push_back(UndoEntry{word, old_value, seq});
+    }
+
+    /** Restore all pre-images into @p memory, newest first. */
+    void
+    rollback(mem::SparseMemory &memory)
+    {
+        for (auto it = _entries.rbegin(); it != _entries.rend(); ++it)
+            memory.writeWord(it->word, it->oldValue);
+        _entries.clear();
+    }
+
+    const std::vector<UndoEntry> &entries() const { return _entries; }
+    std::size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+    void clear() { _entries.clear(); }
+
+  private:
+    std::vector<UndoEntry> _entries;
+};
+
+} // namespace retcon::htm
+
+#endif // RETCON_HTM_UNDO_LOG_HPP

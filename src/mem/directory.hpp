@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Directory-based coherence bookkeeping (MSI states, Table 1 machine).
+ *
+ * One directory entry per coherence block: Invalid (no cached copy),
+ * Shared (read-only copies in `sharers`), or Modified (one owning core).
+ * State transitions are applied atomically at request time; the latency
+ * of the corresponding protocol messages is computed by MemorySystem.
+ */
+
+#ifndef RETCON_MEM_DIRECTORY_HPP
+#define RETCON_MEM_DIRECTORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::mem {
+
+/** Coherence state of a block at the directory. */
+enum class DirState : std::uint8_t { Invalid, Shared, Modified };
+
+/** Per-block directory entry. Sharer set is a 64-bit mask (<=64 cores). */
+struct DirEntry {
+    DirState state = DirState::Invalid;
+    CoreId owner = kNoCore;
+    std::uint64_t sharers = 0;
+};
+
+/** The full-machine directory. */
+class Directory
+{
+  public:
+    /** Look up (never creating) the entry for @p block. */
+    DirEntry
+    lookup(Addr block) const
+    {
+        auto it = _entries.find(block);
+        return it == _entries.end() ? DirEntry{} : it->second;
+    }
+
+    /** Mutable entry for @p block, created Invalid on first touch. */
+    DirEntry &entry(Addr block) { return _entries[block]; }
+
+    /** True when @p core holds a readable copy per the directory. */
+    bool
+    hasReadPerm(Addr block, CoreId core) const
+    {
+        DirEntry e = lookup(block);
+        if (e.state == DirState::Modified)
+            return e.owner == core;
+        if (e.state == DirState::Shared)
+            return (e.sharers >> core) & 1;
+        return false;
+    }
+
+    /** True when @p core holds exclusive/write permission. */
+    bool
+    hasWritePerm(Addr block, CoreId core) const
+    {
+        DirEntry e = lookup(block);
+        return e.state == DirState::Modified && e.owner == core;
+    }
+
+    /** Remove @p core from the sharer/owner info (eviction). */
+    void
+    dropCore(Addr block, CoreId core)
+    {
+        auto it = _entries.find(block);
+        if (it == _entries.end())
+            return;
+        DirEntry &e = it->second;
+        if (e.state == DirState::Modified && e.owner == core) {
+            e.state = DirState::Invalid;
+            e.owner = kNoCore;
+        } else if (e.state == DirState::Shared) {
+            e.sharers &= ~(std::uint64_t(1) << core);
+            if (e.sharers == 0)
+                e.state = DirState::Invalid;
+        }
+    }
+
+    std::size_t numEntries() const { return _entries.size(); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> _entries;
+};
+
+} // namespace retcon::mem
+
+#endif // RETCON_MEM_DIRECTORY_HPP

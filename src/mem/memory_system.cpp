@@ -1,0 +1,193 @@
+#include "mem/memory_system.hpp"
+
+#include "sim/logging.hpp"
+
+namespace retcon::mem {
+
+MemorySystem::MemorySystem(unsigned num_cores, const MemTimingConfig &timing,
+                           const CacheConfig &caches)
+    : _numCores(num_cores), _timing(timing), _cacheConfig(caches)
+{
+    sim_assert(num_cores >= 1 && num_cores <= 64,
+               "directory sharer mask supports at most 64 cores");
+    _cores.reserve(num_cores);
+    for (unsigned i = 0; i < num_cores; ++i)
+        _cores.emplace_back(caches);
+}
+
+bool
+MemorySystem::hasReadPerm(CoreId core, Addr block) const
+{
+    return _directory.hasReadPerm(block, core);
+}
+
+bool
+MemorySystem::hasWritePerm(CoreId core, Addr block) const
+{
+    return _directory.hasWritePerm(block, core);
+}
+
+Cycle
+MemorySystem::peekLatency(CoreId core, Addr block, bool is_write) const
+{
+    const CoreCaches &cc = _cores[core];
+    bool perm = is_write ? _directory.hasWritePerm(block, core)
+                         : _directory.hasReadPerm(block, core);
+    if (perm && cc.l1.contains(block))
+        return _timing.l1Hit;
+    if (perm && cc.l2.contains(block))
+        return _timing.l1Hit + _timing.l2Hit;
+
+    // Miss: L1 issue + L2 lookup + hop to directory...
+    Cycle lat = _timing.l1Hit + _timing.l2Hit + _timing.hop;
+    DirEntry e = _directory.lookup(block);
+    if (e.state == DirState::Modified && e.owner != core) {
+        // Forward to owner; owner L2 access; data to requester.
+        lat += _timing.hop + _timing.l2Hit + _timing.hop;
+    } else if (e.state == DirState::Shared && is_write) {
+        // Invalidate sharers (parallel) + ack; data from memory if the
+        // requester lacks a copy.
+        bool requester_shares = (e.sharers >> core) & 1;
+        lat += 2 * _timing.hop;
+        if (!requester_shares)
+            lat += _timing.dram;
+    } else if (e.state == DirState::Shared && !is_write) {
+        // Clean data supplied by memory.
+        lat += _timing.dram + _timing.hop;
+    } else {
+        // Invalid at directory: fetch from DRAM.
+        lat += _timing.dram + _timing.hop;
+    }
+    return lat;
+}
+
+void
+MemorySystem::fill(CoreId core, Addr block)
+{
+    CoreCaches &cc = _cores[core];
+    // Inclusive hierarchy: L2 first; an L2 eviction kicks the block out
+    // of L1 as well and surrenders directory permissions.
+    if (auto evicted = cc.l2.insert(block)) {
+        cc.l1.invalidate(*evicted);
+        _directory.dropCore(*evicted, core);
+        _stats.add("l2_evictions");
+        if (_listener)
+            _listener->onCapacityEvict(core, *evicted);
+    }
+    if (auto evicted = cc.l1.insert(block)) {
+        // L1 victim stays in L2 (inclusive), no permission change.
+        (void)evicted;
+        _stats.add("l1_evictions");
+    }
+}
+
+void
+MemorySystem::invalidateRemotes(CoreId core, Addr block)
+{
+    DirEntry e = _directory.lookup(block);
+    if (e.state == DirState::Modified && e.owner != core) {
+        CoreId victim = e.owner;
+        _cores[victim].l1.invalidate(block);
+        _cores[victim].l2.invalidate(block);
+        if (_listener)
+            _listener->onRemoteTake(victim, block, core, true);
+    } else if (e.state == DirState::Shared) {
+        for (CoreId v = 0; v < _numCores; ++v) {
+            if (v == core || !((e.sharers >> v) & 1))
+                continue;
+            _cores[v].l1.invalidate(block);
+            _cores[v].l2.invalidate(block);
+            if (_listener)
+                _listener->onRemoteTake(v, block, core, true);
+        }
+    }
+}
+
+AccessResult
+MemorySystem::access(CoreId core, Addr block, bool is_write)
+{
+    sim_assert(core < _numCores, "access from unknown core %u", core);
+    sim_assert(blockAddr(block) == block, "access must be block-aligned");
+
+    AccessResult res;
+    res.latency = peekLatency(core, block, is_write);
+
+    CoreCaches &cc = _cores[core];
+    bool perm = is_write ? _directory.hasWritePerm(block, core)
+                         : _directory.hasReadPerm(block, core);
+
+    if (perm && cc.l1.contains(block)) {
+        res.l1Hit = true;
+        cc.l1.touch(block);
+        cc.l2.touch(block);
+        _stats.add("l1_hits");
+        return res;
+    }
+    if (perm && cc.l2.contains(block)) {
+        res.l2Hit = true;
+        cc.l2.touch(block);
+        // Refill L1 from L2.
+        if (auto evicted = cc.l1.insert(block))
+            (void)evicted;
+        _stats.add("l2_hits");
+        return res;
+    }
+
+    _stats.add(is_write ? "write_misses" : "read_misses");
+    DirEntry pre = _directory.lookup(block);
+
+    if (is_write) {
+        res.remoteTransfer =
+            pre.state == DirState::Modified && pre.owner != core;
+        res.dramAccess = pre.state == DirState::Invalid ||
+                         (pre.state == DirState::Shared &&
+                          !((pre.sharers >> core) & 1));
+        invalidateRemotes(core, block);
+        DirEntry &e = _directory.entry(block);
+        e.state = DirState::Modified;
+        e.owner = core;
+        e.sharers = 0;
+    } else {
+        DirEntry &e = _directory.entry(block);
+        if (e.state == DirState::Modified && e.owner != core) {
+            // Downgrade owner to sharer; data forwarded cache-to-cache.
+            res.remoteTransfer = true;
+            CoreId owner = e.owner;
+            e.state = DirState::Shared;
+            e.sharers = (std::uint64_t(1) << owner) |
+                        (std::uint64_t(1) << core);
+            e.owner = kNoCore;
+            if (_listener)
+                _listener->onRemoteTake(owner, block, core, false);
+        } else if (e.state == DirState::Invalid) {
+            res.dramAccess = true;
+            e.state = DirState::Shared;
+            e.sharers = std::uint64_t(1) << core;
+        } else {
+            // Shared (or own-Modified refetch after L2 eviction).
+            if (e.state == DirState::Shared) {
+                res.dramAccess = true;
+                e.sharers |= std::uint64_t(1) << core;
+            }
+        }
+    }
+
+    if (res.remoteTransfer)
+        _stats.add("cache_to_cache");
+    if (res.dramAccess)
+        _stats.add("dram_accesses");
+
+    fill(core, block);
+    return res;
+}
+
+void
+MemorySystem::flushBlock(CoreId core, Addr block)
+{
+    CoreCaches &cc = _cores[core];
+    cc.l1.invalidate(block);
+    cc.l2.invalidate(block);
+    _directory.dropCore(block, core);
+}
+
+} // namespace retcon::mem

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Timed coherent memory hierarchy for the simulated multicore.
+ *
+ * Models the Table 1 machine: per-core L1 (64KB/4-way) and private L2
+ * (1MB/4-way) with 64B blocks, a directory protocol with 20-cycle hops,
+ * 10-cycle L2 hits and 100-cycle DRAM. State transitions (directory and
+ * tag arrays) are applied atomically at request time; the returned
+ * latency schedules when the requesting core may continue. This keeps
+ * the interleaving of memory operations — the thing conflict behaviour
+ * depends on — cycle-accurate while avoiding transient protocol states.
+ *
+ * The HTM layer is notified of every coherence-driven invalidation and
+ * every capacity eviction through CoherenceListener, which is how
+ * speculative blocks get "stolen away" (RETCON §4) or overflow into the
+ * permissions-only cache (OneTM).
+ */
+
+#ifndef RETCON_MEM_MEMORY_SYSTEM_HPP
+#define RETCON_MEM_MEMORY_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::mem {
+
+/** Latency parameters (cycles), defaults per Table 1. */
+struct MemTimingConfig {
+    Cycle l1Hit = 1;
+    Cycle l2Hit = 10;
+    Cycle hop = 20;      ///< Directory/interconnect hop.
+    Cycle dram = 100;    ///< DRAM lookup.
+};
+
+/** Cache geometry parameters, defaults per Table 1. */
+struct CacheConfig {
+    CacheGeometry l1{64 * 1024, 4};
+    CacheGeometry l2{1024 * 1024, 4};
+    CacheGeometry permOnly{4 * 1024, 4};
+};
+
+/** Receives notifications about blocks leaving a core's caches. */
+class CoherenceListener
+{
+  public:
+    virtual ~CoherenceListener() = default;
+
+    /**
+     * @p victim lost its copy of @p block because @p by performed a
+     * coherence request. @p by_write is true for invalidations (remote
+     * write), false for downgrades M->S (remote read).
+     */
+    virtual void onRemoteTake(CoreId victim, Addr block, CoreId by,
+                              bool by_write) = 0;
+
+    /** @p victim lost @p block to a capacity eviction from its L2. */
+    virtual void onCapacityEvict(CoreId victim, Addr block) = 0;
+};
+
+/** Outcome of a timed access. */
+struct AccessResult {
+    Cycle latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool remoteTransfer = false; ///< Data came cache-to-cache.
+    bool dramAccess = false;
+};
+
+/**
+ * The coherent cache hierarchy shared by all cores.
+ *
+ * Functional data lives in SparseMemory and is read/written directly by
+ * the TM layer; this class models permissions and timing only.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(unsigned num_cores, const MemTimingConfig &timing = {},
+                 const CacheConfig &caches = {});
+
+    /** Register the (single) HTM-side listener. */
+    void setListener(CoherenceListener *l) { _listener = l; }
+
+    /**
+     * Perform a timed coherence access by @p core to @p block.
+     * Applies all state transitions and reports the latency.
+     */
+    AccessResult access(CoreId core, Addr block, bool is_write);
+
+    /**
+     * Latency the access *would* take, with no state change. Used by
+     * the RETCON pre-commit engine to cost reacquisition decisions.
+     */
+    Cycle peekLatency(CoreId core, Addr block, bool is_write) const;
+
+    /** True when @p core can read @p block without a miss. */
+    bool hasReadPerm(CoreId core, Addr block) const;
+
+    /** True when @p core can write @p block without a miss. */
+    bool hasWritePerm(CoreId core, Addr block) const;
+
+    /** Drop @p block from @p core's caches (abort cleanup, tests). */
+    void flushBlock(CoreId core, Addr block);
+
+    /** The functional store. */
+    SparseMemory &memory() { return _memory; }
+    const SparseMemory &memory() const { return _memory; }
+
+    Directory &directory() { return _directory; }
+
+    unsigned numCores() const { return _numCores; }
+
+    const MemTimingConfig &timing() const { return _timing; }
+
+    const CacheConfig &cacheConfig() const { return _cacheConfig; }
+
+    /** Aggregate access statistics (hits/misses/transfers). */
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    struct CoreCaches {
+        SetAssocCache l1;
+        SetAssocCache l2;
+
+        explicit CoreCaches(const CacheConfig &cfg)
+            : l1(cfg.l1), l2(cfg.l2)
+        {}
+    };
+
+    unsigned _numCores;
+    MemTimingConfig _timing;
+    CacheConfig _cacheConfig;
+    SparseMemory _memory;
+    Directory _directory;
+    std::vector<CoreCaches> _cores;
+    CoherenceListener *_listener = nullptr;
+    StatSet _stats;
+
+    /** Install @p block into @p core's L1+L2, handling evictions. */
+    void fill(CoreId core, Addr block);
+
+    /** Invalidate remote copies for a write by @p core. */
+    void invalidateRemotes(CoreId core, Addr block);
+};
+
+} // namespace retcon::mem
+
+#endif // RETCON_MEM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Constraint buffer: word-granularity interval constraints (Figure 5,
+ * with the §4.4 interval representation).
+ *
+ * Each entry maps a root word address to the most restrictive interval
+ * implied by every control-flow constraint recorded against it. The
+ * buffer holds at most `capacity` distinct root addresses (16 in
+ * Table 1); when full, new constraints fall back to compressed equality
+ * bits in the IVB, which is sound but forfeits repairability for that
+ * word.
+ */
+
+#ifndef RETCON_RETCON_CONSTRAINT_BUFFER_HPP
+#define RETCON_RETCON_CONSTRAINT_BUFFER_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "retcon/interval.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::rtc {
+
+/** Fixed-capacity map: root word address -> Interval. */
+class ConstraintBuffer
+{
+  public:
+    explicit ConstraintBuffer(std::size_t capacity = 16)
+        : _capacity(capacity)
+    {}
+
+    /** Outcome of attempting to record a constraint. */
+    enum class Record {
+        Ok,          ///< Captured in an interval.
+        Full,        ///< No room: caller must set an equality bit.
+        Unsat,       ///< Interval became empty: commit cannot succeed.
+        Inexact,     ///< Interior NE: caller must set an equality bit.
+    };
+
+    /**
+     * Record `([root] OP k)` where k has already been normalized to the
+     * root (i.e., the symbolic delta has been subtracted out).
+     */
+    Record
+    record(Addr root, CmpOp op, std::int64_t k)
+    {
+        Interval *iv = find(root);
+        if (!iv) {
+            if (_entries.size() >= _capacity)
+                return Record::Full;
+            _entries.emplace_back(root, Interval{});
+            iv = &_entries.back().second;
+        }
+        Interval saved = *iv;
+        if (!iv->constrain(op, k)) {
+            *iv = saved;
+            return Record::Inexact;
+        }
+        if (iv->empty())
+            return Record::Unsat;
+        return Record::Ok;
+    }
+
+    /** Interval currently constraining @p root, or nullptr. */
+    Interval *
+    find(Addr root)
+    {
+        for (auto &[a, iv] : _entries)
+            if (a == root)
+                return &iv;
+        return nullptr;
+    }
+
+    const Interval *
+    find(Addr root) const
+    {
+        for (const auto &[a, iv] : _entries)
+            if (a == root)
+                return &iv;
+        return nullptr;
+    }
+
+    /** True when @p value satisfies all constraints on @p root. */
+    bool
+    satisfied(Addr root, std::int64_t value) const
+    {
+        const Interval *iv = find(root);
+        return !iv || iv->contains(value);
+    }
+
+    std::size_t size() const { return _entries.size(); }
+    std::size_t capacity() const { return _capacity; }
+
+    const std::vector<std::pair<Addr, Interval>> &
+    entries() const
+    {
+        return _entries;
+    }
+
+    void clear() { _entries.clear(); }
+
+  private:
+    std::size_t _capacity;
+    std::vector<std::pair<Addr, Interval>> _entries;
+};
+
+} // namespace retcon::rtc
+
+#endif // RETCON_RETCON_CONSTRAINT_BUFFER_HPP

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Interval representation of symbolic control-flow constraints (§4.4).
+ *
+ * Every branch on a symbolic value "[A] + delta  OP  k" is normalized to
+ * a constraint on the root "[A]  OP  (k - delta)" and folded into a
+ * single closed interval [lo, hi] per root word: the most restrictive
+ * interval implied by all {<, <=, ==, >=, >} constraints. A != bound is
+ * representable exactly only at the interval edges; interior exclusions
+ * are dropped (a sound over-approximation... of the *acceptable* set
+ * would be unsound, so interior != instead falls back to an equality
+ * constraint at a higher layer — see ConstraintRecorder in the machine).
+ *
+ * Values are interpreted as signed 64-bit integers, matching the
+ * bookkeeping data (counters, sizes) the paper targets.
+ */
+
+#ifndef RETCON_RETCON_INTERVAL_HPP
+#define RETCON_RETCON_INTERVAL_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace retcon::rtc {
+
+/** Comparison operators appearing in symbolic branch constraints. */
+enum class CmpOp : std::uint8_t { LT, LE, EQ, NE, GE, GT };
+
+/** Negate a comparison (for the not-taken branch direction). */
+constexpr CmpOp
+negate(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::LT: return CmpOp::GE;
+      case CmpOp::LE: return CmpOp::GT;
+      case CmpOp::EQ: return CmpOp::NE;
+      case CmpOp::NE: return CmpOp::EQ;
+      case CmpOp::GE: return CmpOp::LT;
+      case CmpOp::GT: return CmpOp::LE;
+    }
+    return CmpOp::EQ;
+}
+
+/** Evaluate `a OP b` over signed 64-bit values. */
+constexpr bool
+evalCmp(std::int64_t a, CmpOp op, std::int64_t b)
+{
+    switch (op) {
+      case CmpOp::LT: return a < b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::EQ: return a == b;
+      case CmpOp::NE: return a != b;
+      case CmpOp::GE: return a >= b;
+      case CmpOp::GT: return a > b;
+    }
+    return false;
+}
+
+/** Closed signed interval [lo, hi]; default is unconstrained. */
+struct Interval {
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+    bool operator==(const Interval &) const = default;
+
+    /** True when no value satisfies the interval. */
+    bool empty() const { return lo > hi; }
+
+    /** True when every int64 satisfies it. */
+    bool
+    unconstrained() const
+    {
+        return lo == std::numeric_limits<std::int64_t>::min() &&
+               hi == std::numeric_limits<std::int64_t>::max();
+    }
+
+    /** Membership test. */
+    bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+
+    /**
+     * Intersect with `value OP k`.
+     *
+     * @return true when the constraint was captured exactly; false when
+     * it could not be represented (interior NE), in which case the
+     * interval is left unchanged and the caller must fall back to an
+     * equality constraint on the current concrete value.
+     */
+    bool
+    constrain(CmpOp op, std::int64_t k)
+    {
+        switch (op) {
+          case CmpOp::LT:
+            hi = std::min(hi, sub1(k));
+            return true;
+          case CmpOp::LE:
+            hi = std::min(hi, k);
+            return true;
+          case CmpOp::EQ:
+            lo = std::max(lo, k);
+            hi = std::min(hi, k);
+            return true;
+          case CmpOp::GE:
+            lo = std::max(lo, k);
+            return true;
+          case CmpOp::GT:
+            lo = std::max(lo, add1(k));
+            return true;
+          case CmpOp::NE:
+            if (k < lo || k > hi)
+                return true; // Already excluded.
+            if (k == lo && k == hi) {
+                // The only remaining value is excluded: empty.
+                lo = std::numeric_limits<std::int64_t>::max();
+                hi = std::numeric_limits<std::int64_t>::min();
+                return true;
+            }
+            if (k == lo) {
+                lo = add1(lo);
+                return true;
+            }
+            if (k == hi) {
+                hi = sub1(hi);
+                return true;
+            }
+            return false; // Interior exclusion: not representable.
+        }
+        return false;
+    }
+
+  private:
+    static std::int64_t
+    add1(std::int64_t v)
+    {
+        return v == std::numeric_limits<std::int64_t>::max() ? v : v + 1;
+    }
+    static std::int64_t
+    sub1(std::int64_t v)
+    {
+        return v == std::numeric_limits<std::int64_t>::min() ? v : v - 1;
+    }
+};
+
+} // namespace retcon::rtc
+
+#endif // RETCON_RETCON_INTERVAL_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Symbolic Store Buffer (Figure 5).
+ *
+ * Holds symbolically-tracked stores: address, the store's concrete
+ * (best-guess) value, and its symbolic value if any. Accessed like an
+ * unordered store buffer: loads check it in parallel with the IVB and
+ * data cache (Figure 6); store-to-load forwarding *copies* the symbolic
+ * value, flattening the dependence (§4.3), which is what lets the
+ * commit-time drain proceed in any order.
+ *
+ * A non-symbolic store to an address present here invalidates the entry
+ * (Figure 8, time 10).
+ */
+
+#ifndef RETCON_RETCON_SSB_HPP
+#define RETCON_RETCON_SSB_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "retcon/symbolic.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::rtc {
+
+/** One symbolic store buffer entry (word granularity). */
+struct SsbEntry {
+    Addr word = 0;                ///< Word-aligned target address.
+    Word concrete = 0;            ///< Best-guess value at store time.
+    std::optional<SymTag> sym;    ///< Symbolic value, when tracked.
+    std::uint8_t size = 8;        ///< Store size in bytes.
+};
+
+/** Fixed-capacity unordered symbolic store buffer (32 in Table 1). */
+class SymbolicStoreBuffer
+{
+  public:
+    explicit SymbolicStoreBuffer(std::size_t capacity = 32)
+        : _capacity(capacity)
+    {}
+
+    SsbEntry *
+    find(Addr word)
+    {
+        for (auto &e : _entries)
+            if (e.word == word)
+                return &e;
+        return nullptr;
+    }
+
+    const SsbEntry *
+    find(Addr word) const
+    {
+        for (const auto &e : _entries)
+            if (e.word == word)
+                return &e;
+        return nullptr;
+    }
+
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /**
+     * Insert or overwrite the entry for @p word.
+     * @return false when a new entry is needed but the buffer is full
+     * (caller falls back to an eager store + equality constraint).
+     */
+    bool
+    put(Addr word, Word concrete, std::optional<SymTag> sym,
+        std::uint8_t size)
+    {
+        if (SsbEntry *e = find(word)) {
+            e->concrete = concrete;
+            e->sym = sym;
+            e->size = size;
+            return true;
+        }
+        if (full())
+            return false;
+        _entries.push_back(SsbEntry{word, concrete, sym, size});
+        return true;
+    }
+
+    /** Drop the entry for @p word (overwritten by a normal store). */
+    void
+    invalidate(Addr word)
+    {
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->word == word) {
+                _entries.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Entries in insertion order (the commit drain order). */
+    std::vector<SsbEntry> &entries() { return _entries; }
+    const std::vector<SsbEntry> &entries() const { return _entries; }
+
+    std::size_t size() const { return _entries.size(); }
+    std::size_t capacity() const { return _capacity; }
+
+    void clear() { _entries.clear(); }
+
+  private:
+    std::size_t _capacity;
+    std::vector<SsbEntry> _entries;
+};
+
+} // namespace retcon::rtc
+
+#endif // RETCON_RETCON_SSB_HPP

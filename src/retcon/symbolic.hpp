@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Symbolic value representation (§4.4 "efficient representation").
+ *
+ * RETCON restricts symbolically-trackable computation to additions and
+ * subtractions, so a symbolic value collapses to an
+ * `(input_address, increment)` pair: the value equals "whatever the
+ * root input word holds at commit, plus delta". The root is always a
+ * word-aligned address of a word captured in the initial value buffer.
+ *
+ * Anything outside this shape (multiplies, divides, floating point,
+ * address computation, multi-symbolic-input operations past the first
+ * input, sub-word mixing) is *not* tracked; the implementation instead
+ * pins the root with an equality constraint, which degrades that word
+ * to lazy value-based validation — sound, just not repairable.
+ */
+
+#ifndef RETCON_RETCON_SYMBOLIC_HPP
+#define RETCON_RETCON_SYMBOLIC_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace retcon::rtc {
+
+/** A symbolic value: [root] + delta, as a `size`-byte quantity. */
+struct SymTag {
+    /** Word-aligned address of the tracked input word. */
+    Addr root = 0;
+    /** Cumulative increment applied since the root was loaded. */
+    std::int64_t delta = 0;
+    /** Access size in bytes (8 for full-word tracking). */
+    std::uint8_t size = 8;
+
+    bool operator==(const SymTag &) const = default;
+};
+
+/** Evaluate a symbolic value given the root's final concrete value. */
+constexpr Word
+evalSym(const SymTag &tag, Word root_value)
+{
+    Word v = root_value + static_cast<Word>(tag.delta);
+    if (tag.size >= 8)
+        return v;
+    return v & ((Word(1) << (tag.size * 8)) - 1);
+}
+
+} // namespace retcon::rtc
+
+#endif // RETCON_RETCON_SYMBOLIC_HPP

@@ -1,0 +1,71 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace retcon {
+
+EventHandle
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    sim_assert(when >= _now, "scheduling into the past");
+    std::uint64_t id = _nextId++;
+    _heap.push(Entry{when, _nextSeq++, id, std::move(cb)});
+    ++_live;
+    return EventHandle{id};
+}
+
+void
+EventQueue::cancel(EventHandle h)
+{
+    if (!h.valid())
+        return;
+    if (isCancelled(h.id))
+        return;
+    _cancelled.push_back(h.id);
+    if (_live > 0)
+        --_live;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t id) const
+{
+    return std::find(_cancelled.begin(), _cancelled.end(), id) !=
+           _cancelled.end();
+}
+
+bool
+EventQueue::step()
+{
+    while (!_heap.empty()) {
+        Entry e = _heap.top();
+        _heap.pop();
+        if (isCancelled(e.id)) {
+            _cancelled.erase(
+                std::find(_cancelled.begin(), _cancelled.end(), e.id));
+            continue;
+        }
+        sim_assert(e.when >= _now, "event heap out of order");
+        _now = e.when;
+        --_live;
+        ++_executed;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+Cycle
+EventQueue::run(Cycle maxCycles)
+{
+    while (!_heap.empty()) {
+        if (_heap.top().when > maxCycles && !isCancelled(_heap.top().id))
+            break;
+        if (!step())
+            break;
+    }
+    return _now;
+}
+
+} // namespace retcon

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Events are callbacks scheduled at an absolute cycle. Events scheduled
+ * for the same cycle fire in the order they were scheduled (a strictly
+ * increasing sequence number breaks ties), so a simulation with a fixed
+ * seed is bit-for-bit reproducible. Cancellation is supported through
+ * EventHandle generations rather than queue surgery: a cancelled event
+ * stays in the heap but is skipped when popped.
+ */
+
+#ifndef RETCON_SIM_EVENT_QUEUE_HPP
+#define RETCON_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace retcon {
+
+/** Opaque ticket identifying a scheduled event so it can be cancelled. */
+struct EventHandle {
+    std::uint64_t id = 0;
+
+    bool valid() const { return id != 0; }
+};
+
+/**
+ * Cycle-ordered event queue driving the whole simulation.
+ *
+ * The queue owns the simulated clock: now() advances only when run()
+ * pops an event scheduled later than the current cycle.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute cycle @p when.
+     * @return a handle usable with cancel().
+     */
+    EventHandle schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb @p delta cycles from now. */
+    EventHandle
+    scheduleAfter(Cycle delta, Callback cb)
+    {
+        return schedule(_now + delta, std::move(cb));
+    }
+
+    /** Cancel a previously scheduled event. Idempotent. */
+    void cancel(EventHandle h);
+
+    /** True when no live events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pending() const { return _live; }
+
+    /**
+     * Run until the queue drains or @p maxCycles elapses.
+     * @return the final value of now().
+     */
+    Cycle run(Cycle maxCycles = ~Cycle(0));
+
+    /** Pop and run exactly one live event. @return false if drained. */
+    bool step();
+
+    /** Total events executed since construction (for stats/tests). */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t seq;
+        std::uint64_t id;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::vector<std::uint64_t> _cancelled;
+    Cycle _now = 0;
+    std::uint64_t _nextSeq = 1;
+    std::uint64_t _nextId = 1;
+    std::size_t _live = 0;
+    std::uint64_t _executed = 0;
+
+    bool isCancelled(std::uint64_t id) const;
+};
+
+} // namespace retcon
+
+#endif // RETCON_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for simulator bugs (conditions that must never happen
+ * regardless of user input); fatal() is for user/configuration errors;
+ * warn() and inform() report conditions without stopping the simulation.
+ */
+
+#ifndef RETCON_SIM_LOGGING_HPP
+#define RETCON_SIM_LOGGING_HPP
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace retcon {
+
+/** Global verbosity switch: 0 = errors only, 1 = warn, 2 = inform. */
+extern int logVerbosity;
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+} // namespace retcon
+
+/** Abort the process: an internal simulator invariant was violated. */
+#define panic(...) ::retcon::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit with an error: the user supplied an impossible configuration. */
+#define fatal(...) ::retcon::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a suspicious but survivable condition. */
+#define warn(...) ::retcon::warnImpl(__VA_ARGS__)
+
+/** Report a normal informational message. */
+#define inform(...) ::retcon::informImpl(__VA_ARGS__)
+
+/** panic() unless the stated invariant holds. */
+#define sim_assert(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::retcon::panicImpl(__FILE__, __LINE__, __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+
+#endif // RETCON_SIM_LOGGING_HPP

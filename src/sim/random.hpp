@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * A xoshiro256** generator: fast, high quality, and fully reproducible
+ * across platforms (unlike std::mt19937 distributions, whose results
+ * are implementation-defined for some adaptors). Every workload thread
+ * derives its own stream from (seed, threadId) so runs are deterministic
+ * regardless of interleaving.
+ */
+
+#ifndef RETCON_SIM_RANDOM_HPP
+#define RETCON_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace retcon {
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Xoshiro
+{
+  public:
+    /** Seed via splitmix64 so any 64-bit seed yields a good state. */
+    explicit Xoshiro(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Derive an independent stream for a given thread. */
+    static Xoshiro
+    forThread(std::uint64_t seed, std::uint32_t thread)
+    {
+        return Xoshiro(seed * 0x100000001b3ull + thread + 1);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift range reduction; bias is negligible for the
+        // bounds used by the workloads (all << 2^32).
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial: true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace retcon
+
+#endif // RETCON_SIM_RANDOM_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * bayes (Table 3): Bayesian network structure learning.
+ *
+ * Transactions evaluate candidate edge flips in a shared adjacency
+ * matrix: they read a whole row and column of the matrix (large,
+ * data-dependent read sets), recompute local scores (heavy private
+ * compute of variable length), and update several score words plus the
+ * edge bit. The paper dropped bayes from the figures for extreme
+ * run-to-run variability but kept it in Table 3; we do the same.
+ */
+
+#include "ds/hashtable.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class BayesWorkload : public Workload
+{
+  public:
+    explicit BayesWorkload(const WorkloadParams &p) : _p(p)
+    {
+        _flips = _p.scaled(384, 32);
+    }
+
+    std::string name() const override { return "bayes"; }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes, cluster.numThreads());
+        // Adjacency matrix (one word per cell) + per-variable scores.
+        _adjBase = _alloc->allocShared(kVars * kVars * kWordBytes);
+        _scoreBase = _alloc->allocShared(kVars * kBlockBytes);
+        for (Word i = 0; i < kVars * kVars; ++i)
+            mem.writeWord(_adjBase + i * kWordBytes, 0);
+        for (Word v = 0; v < kVars; ++v)
+            mem.writeWord(scoreAddr(v), 1000);
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        // Each committed flip toggles exactly one edge and transfers
+        // score between its endpoints: total score is conserved.
+        const auto &mem = cluster.memory();
+        Word total = 0;
+        for (Word v = 0; v < kVars; ++v)
+            total += mem.readWord(scoreAddr(v));
+        if (total != 1000 * kVars)
+            return {false, "score not conserved"};
+        return {true, ""};
+    }
+
+  private:
+    static constexpr Word kVars = 24;
+
+    WorkloadParams _p;
+    Word _flips;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    Addr _adjBase = 0;
+    Addr _scoreBase = 0;
+
+    Addr
+    cellAddr(Word from, Word to) const
+    {
+        return _adjBase + (from * kVars + to) * kWordBytes;
+    }
+    Addr
+    scoreAddr(Word v) const
+    {
+        return _scoreBase + v * kBlockBytes;
+    }
+
+    Task<TxValue>
+    flipEdge(Tx &tx, Word from, Word to)
+    {
+        // Read the whole row and column (the candidate's Markov
+        // blanket): a large, data-dependent read set.
+        Word parents = 0;
+        for (Word v = 0; v < kVars; ++v) {
+            TxValue cell = co_await tx.load(cellAddr(from, v));
+            if (tx.cmp(cell, rtc::CmpOp::NE, 0))
+                ++parents;
+            TxValue cell2 = co_await tx.load(cellAddr(v, to));
+            (void)cell2;
+        }
+        // Score recomputation: long, variable-length private compute.
+        co_await tx.work(100 + 40 * parents);
+
+        // Toggle the edge and transfer one point of score.
+        TxValue edge = co_await tx.load(cellAddr(from, to));
+        bool present = tx.cmp(edge, rtc::CmpOp::NE, 0);
+        co_await tx.store(cellAddr(from, to),
+                          TxValue(present ? 0 : 1));
+        TxValue sf = co_await tx.load(scoreAddr(from));
+        co_await tx.store(scoreAddr(from), tx.add(sf, 1));
+        TxValue st = co_await tx.load(scoreAddr(to));
+        co_await tx.store(scoreAddr(to), tx.sub(st, 1));
+        co_return TxValue(1);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _flips * tid / nt;
+        Word hi = _flips * (tid + 1) / nt;
+
+        for (Word f = lo; f < hi; ++f) {
+            Word from = ds::hashKey(f * 3 + 1) % kVars;
+            Word to = ds::hashKey(f * 7 + 5) % kVars;
+            if (from == to)
+                to = (to + 1) % kVars;
+            co_await ctx.txn([this, from, to](Tx &tx) {
+                return flipEdge(tx, from, to);
+            });
+            co_await ctx.work(80);
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBayes(const WorkloadParams &p)
+{
+    return std::make_unique<BayesWorkload>(p);
+}
+
+} // namespace retcon::workloads

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * intruder / intruder_opt / intruder_opt-sz (Table 2): network packet
+ * intrusion detection.
+ *
+ * The pipeline dequeues packet fragments, reassembles flows in a shared
+ * map, and enqueues complete flows for detection. The base variant uses
+ * one highly contended input queue, one contended output queue, and a
+ * red-black tree map — its queue head/tail pointers are consumed as
+ * addresses, the conflict class RETCON cannot repair (§5.4). The _opt
+ * variants apply the paper's restructuring: thread-private queues and a
+ * hashtable map (fixed-size for _opt, resizable for _opt-sz, whose
+ * size-field conflicts RETCON repairs).
+ */
+
+#include "ds/hashtable.hpp"
+#include "ds/queue.hpp"
+#include "ds/rbtree.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class IntruderWorkload : public Workload
+{
+  public:
+    IntruderWorkload(const WorkloadParams &p, IntruderVariant v)
+        : _p(p), _variant(v)
+    {
+        _packets = _p.scaled(2048, 64);
+        _packets -= _packets % kFragmentsPerFlow;
+    }
+
+    std::string
+    name() const override
+    {
+        switch (_variant) {
+          case IntruderVariant::Base: return "intruder";
+          case IntruderVariant::Opt: return "intruder_opt";
+          case IntruderVariant::OptSz: return "intruder_opt-sz";
+        }
+        return "intruder";
+    }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        unsigned nt = cluster.numThreads();
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(kHeapBase,
+                                                    kArenaBytes, nt);
+        bool shared_queues = _variant == IntruderVariant::Base;
+        unsigned nqueues = shared_queues ? 1 : nt;
+        for (unsigned q = 0; q < nqueues; ++q) {
+            _inQ.push_back(ds::SimQueue::create(mem, *_alloc));
+            _outQ.push_back(ds::SimQueue::create(mem, *_alloc));
+        }
+        // Pre-fill input queues with packet ids round-robin.
+        for (Word pkt = 1; pkt <= _packets; ++pkt)
+            _inQ[pkt % nqueues].hostEnqueue(mem, pkt);
+
+        if (_variant == IntruderVariant::Base) {
+            _tree = ds::SimRBTree::create(mem, *_alloc);
+            // Session table carries existing flow state, as after
+            // warmup: inserts land deep, rebalancing stays local.
+            for (Word w = 1; w <= 2 * _packets; ++w)
+                _tree.hostInsert(mem, ds::hashKey(w) | 1, w);
+        } else {
+            bool resizable = _variant == IntruderVariant::OptSz;
+            _ht = ds::SimHashtable::create(
+                mem, *_alloc, resizable ? 1024 : 2048, resizable);
+        }
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        const auto &mem = cluster.memory();
+        Word in_left = 0, out_count = 0;
+        for (auto &q : _inQ)
+            in_left += q.hostCount(mem);
+        for (auto &q : _outQ)
+            out_count += q.hostCount(mem);
+        if (in_left != 0)
+            return {false, std::to_string(in_left) +
+                               " packets left in input queues"};
+        if (out_count != _packets) {
+            return {false, "output holds " + std::to_string(out_count) +
+                               " of " + std::to_string(_packets)};
+        }
+        Word flows = _variant == IntruderVariant::Base
+                         ? _tree.hostCount(mem) - 2 * _packets
+                         : _ht.hostCountNodes(mem);
+        if (flows != _packets / kFragmentsPerFlow)
+            return {false, "flow map holds " + std::to_string(flows)};
+        if (_variant == IntruderVariant::Base &&
+            !_tree.hostCheckInvariants(mem))
+            return {false, "red-black invariants violated"};
+        return {true, ""};
+    }
+
+  private:
+    static constexpr Word kFragmentsPerFlow = 4;
+
+    WorkloadParams _p;
+    IntruderVariant _variant;
+    Word _packets;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    std::vector<ds::SimQueue> _inQ, _outQ;
+    ds::SimRBTree _tree;
+    ds::SimHashtable _ht;
+
+    Task<TxValue>
+    reassembleTree(Tx &tx, unsigned tid, Word flow, bool first)
+    {
+        co_await tx.work(400); // Fragment decode + flow match.
+        Word key = ds::hashKey(flow) & ~Word(1);
+        if (first)
+            co_return co_await _tree.insert(tx, tid, key, flow);
+        co_return co_await _tree.lookup(tx, key);
+    }
+
+    Task<TxValue>
+    reassembleHt(Tx &tx, unsigned tid, Word flow, bool first)
+    {
+        co_await tx.work(400);
+        Word key = ds::hashKey(flow);
+        if (first)
+            co_return co_await _ht.insert(tx, tid, key, flow);
+        co_return co_await _ht.lookup(tx, key);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        bool shared_queues = _variant == IntruderVariant::Base;
+        ds::SimQueue &in = _inQ[shared_queues ? 0 : tid];
+        ds::SimQueue &out = _outQ[shared_queues ? 0 : tid];
+
+        for (;;) {
+            // Capture: dequeue one fragment.
+            TxValue got = co_await ctx.txn(
+                [&in](Tx &tx) { return in.dequeue(tx); });
+            if (got.raw() == 0)
+                break; // Queue drained.
+            Word pkt = got.raw() - 1;
+
+            // Reassembly: the first fragment of a flow inserts the
+            // flow record; later fragments find and extend it (no
+            // size-field update), as in real flow reassembly.
+            Word flow = pkt / kFragmentsPerFlow;
+            bool first = pkt % kFragmentsPerFlow == 0;
+            if (_variant == IntruderVariant::Base) {
+                co_await ctx.txn([this, &ctx, flow, first](Tx &tx) {
+                    return reassembleTree(tx, ctx.tid(), flow, first);
+                });
+            } else {
+                co_await ctx.txn([this, &ctx, flow, first](Tx &tx) {
+                    return reassembleHt(tx, ctx.tid(), flow, first);
+                });
+            }
+
+            // Detection: private signature matching.
+            co_await ctx.work(1000);
+
+            // Hand the flow to the next stage.
+            co_await ctx.txn([&out, &ctx, pkt](Tx &tx) {
+                return out.enqueue(tx, ctx.tid(), pkt);
+            });
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeIntruder(const WorkloadParams &p, IntruderVariant v)
+{
+    return std::make_unique<IntruderWorkload>(p, v);
+}
+
+} // namespace retcon::workloads

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * kmeans (Table 2): partition-based clustering.
+ *
+ * Threads assign their slice of points to the nearest of K centers and
+ * accumulate point coordinates into shared per-cluster accumulators
+ * inside transactions. The accumulator updates are *floating-point*
+ * adds, which RETCON does not track symbolically (they pin their inputs
+ * with equality constraints), so — matching Figure 9 — RETCON does not
+ * change kmeans' behaviour: conflicts on the shared centers remain.
+ */
+
+#include <cmath>
+
+#include "ds/hashtable.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class KmeansWorkload : public Workload
+{
+  public:
+    explicit KmeansWorkload(const WorkloadParams &p) : _p(p)
+    {
+        _points = _p.scaled(2048, 64);
+    }
+
+    std::string name() const override { return "kmeans"; }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes, cluster.numThreads());
+
+        // Point coordinates (read-only during the run).
+        Xoshiro rng(_p.seed * 77 + 5);
+        _pointBase = _alloc->allocShared(_points * kDims * kWordBytes);
+        for (Word i = 0; i < _points * kDims; ++i)
+            mem.writeWord(_pointBase + i * kWordBytes,
+                          toBits(rng.uniform() * 100.0));
+
+        // Cluster accumulators: kDims float sums + a count word, one
+        // block-aligned record per cluster.
+        _centerBase = _alloc->allocShared(kClusters * 2 * kBlockBytes);
+        for (Word c = 0; c < kClusters; ++c) {
+            for (unsigned d = 0; d < kDims; ++d)
+                mem.writeWord(centerSum(c, d), toBits(0.0));
+            mem.writeWord(centerCount(c), 0);
+        }
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        const auto &mem = cluster.memory();
+        Word total = 0;
+        double sum = 0;
+        for (Word c = 0; c < kClusters; ++c) {
+            total += mem.readWord(centerCount(c));
+            for (unsigned d = 0; d < kDims; ++d)
+                sum += fromBits(mem.readWord(centerSum(c, d)));
+        }
+        Word expect = _points * kIterations;
+        if (total != expect) {
+            return {false, "assigned " + std::to_string(total) +
+                               " points, expected " +
+                               std::to_string(expect)};
+        }
+        // The coordinate sums must equal the (order-independent) sum
+        // of all assigned points' coordinates.
+        double expect_sum = 0;
+        for (Word i = 0; i < _points * kDims; ++i)
+            expect_sum += fromBits(
+                mem.readWord(_pointBase + i * kWordBytes));
+        expect_sum *= kIterations;
+        if (std::abs(sum - expect_sum) > 1e-6 * (1.0 + expect_sum))
+            return {false, "coordinate sums diverged"};
+        return {true, ""};
+    }
+
+  private:
+    static constexpr Word kClusters = 12;
+    static constexpr unsigned kDims = 4;
+    static constexpr unsigned kIterations = 2;
+
+    WorkloadParams _p;
+    Word _points;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    Addr _pointBase = 0;
+    Addr _centerBase = 0;
+
+    static Word
+    toBits(double d)
+    {
+        Word w;
+        __builtin_memcpy(&w, &d, 8);
+        return w;
+    }
+    static double
+    fromBits(Word w)
+    {
+        double d;
+        __builtin_memcpy(&d, &w, 8);
+        return d;
+    }
+
+    Addr
+    centerSum(Word c, unsigned d) const
+    {
+        return _centerBase + c * 2 * kBlockBytes + d * kWordBytes;
+    }
+    Addr
+    centerCount(Word c) const
+    {
+        return _centerBase + c * 2 * kBlockBytes + kDims * kWordBytes;
+    }
+
+    Addr
+    pointAddr(Word i, unsigned d) const
+    {
+        return _pointBase + (i * kDims + d) * kWordBytes;
+    }
+
+    Task<TxValue>
+    accumulate(Tx &tx, Word cluster, Word point)
+    {
+        for (unsigned d = 0; d < kDims; ++d) {
+            TxValue coord = co_await tx.load(pointAddr(point, d));
+            TxValue sum = co_await tx.load(centerSum(cluster, d));
+            TxValue next = tx.fop(sum, coord,
+                                  [](double a, double b) { return a + b; });
+            co_await tx.store(centerSum(cluster, d), next);
+        }
+        TxValue cnt = co_await tx.load(centerCount(cluster));
+        co_await tx.store(centerCount(cluster), tx.add(cnt, 1));
+        co_return TxValue(0);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _points * tid / nt;
+        Word hi = _points * (tid + 1) / nt;
+
+        for (unsigned iter = 0; iter < kIterations; ++iter) {
+            for (Word i = lo; i < hi; ++i) {
+                // Nearest-center search: private compute over the
+                // point (the real distance loop), modeled as work.
+                co_await ctx.work(250);
+                Word cluster =
+                    ds::hashKey(i * 31 + iter) % kClusters;
+                co_await ctx.txn([this, cluster, i](Tx &tx) {
+                    return accumulate(tx, cluster, i);
+                });
+            }
+            co_await ctx.barrier();
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans(const WorkloadParams &p)
+{
+    return std::make_unique<KmeansWorkload>(p);
+}
+
+} // namespace retcon::workloads

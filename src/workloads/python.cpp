@@ -1,0 +1,180 @@
+/**
+ * @file
+ * python / python_opt (Table 2): the transactionalized CPython
+ * interpreter under speculative lock elision of the GIL.
+ *
+ * Each transaction is one interpretation quantum: a batch of bytecodes
+ * executed while "holding" the elided global interpreter lock. Every
+ * bytecode touches the reference counts of globally shared objects
+ * (small ints, interned strings, module globals) — balanced
+ * incref/decref pairs, the flagship RETCON-repairable conflict.
+ *
+ * The unoptimized variant additionally reads *and writes* shared
+ * interpreter globals that are conceptually thread-private (the paper:
+ * "global variables that are conceptually thread-private but were not
+ * made so"), and the read value feeds address computation — an
+ * unrepairable pattern that keeps base python at sequential speed. The
+ * _opt variant applies the paper's `__thread` restructuring, making
+ * those globals per-thread.
+ */
+
+#include "ds/refcount.hpp"
+#include "ds/hashtable.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class PythonWorkload : public Workload
+{
+  public:
+    PythonWorkload(const WorkloadParams &p, bool opt) : _p(p), _opt(opt)
+    {
+        _quanta = _p.scaled(768, 64);
+    }
+
+    std::string
+    name() const override
+    {
+        return _opt ? "python_opt" : "python";
+    }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        unsigned nt = cluster.numThreads();
+        _alloc = std::make_unique<ds::SimAllocator>(kHeapBase,
+                                                    kArenaBytes, nt);
+
+        // Shared singletons (small ints, interned strings, ...).
+        _objects.clear();
+        for (Word i = 0; i < kSharedObjects; ++i)
+            _objects.push_back(ds::makeRefCounted(mem, *_alloc, 4,
+                                                  kInitialRefs));
+
+        // Interpreter state globals. Unopt: one shared block whose
+        // word is a pointer consumed as an address. Opt: per-thread
+        // copies (the __thread restructuring).
+        _globals.clear();
+        unsigned nglobals = _opt ? nt : 1;
+        for (unsigned g = 0; g < nglobals; ++g) {
+            Addr global = _alloc->allocShared(kBlockBytes);
+            mem.writeWord(global, _objects[g % kSharedObjects]);
+            _globals.push_back(global);
+        }
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        // Every quantum's incref/decref pairs are balanced, so all
+        // refcounts must end at their initial value — the refcount
+        // machinery is exact under every TM mode.
+        const auto &mem = cluster.memory();
+        for (Word i = 0; i < kSharedObjects; ++i) {
+            Word rc = mem.readWord(_objects[i]);
+            if (rc != kInitialRefs) {
+                return {false, "object " + std::to_string(i) +
+                                   " refcount " + std::to_string(rc) +
+                                   " != " +
+                                   std::to_string(kInitialRefs)};
+            }
+        }
+        // The shared global must still point at a live object.
+        Addr g = mem.readWord(_globals[0]);
+        for (Addr obj : _objects)
+            if (obj == g)
+                return {true, ""};
+        return {false, "interpreter global corrupted"};
+    }
+
+  private:
+    static constexpr Word kSharedObjects = 128;
+    static constexpr Word kInitialRefs = 1000;
+    static constexpr unsigned kBytecodesPerQuantum = 24;
+
+    WorkloadParams _p;
+    bool _opt;
+    Word _quanta;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    std::vector<Addr> _objects;
+    std::vector<Addr> _globals;
+
+    /** One interpretation quantum (one GIL-elided critical section). */
+    Task<TxValue>
+    quantum(Tx &tx, unsigned tid, Word qid)
+    {
+        Addr global = _globals[_opt ? tid : 0];
+
+        for (unsigned b = 0; b < kBytecodesPerQuantum; ++b) {
+            Word pick = ds::hashKey(qid * 8 + b % 6) % kSharedObjects;
+            Addr obj = _objects[pick];
+
+            // Operand fetch: bump the operand's refcount.
+            co_await ds::incref(tx, obj);
+
+            // Dispatch + execute the bytecode (the paper's
+            // python quanta are tens of thousands of cycles,
+            // Table 3: commit stall is <1% of lifetime).
+            co_await tx.work(600);
+
+            if (!_opt && b == 0) {
+                // Unopt: consult and update the shared interpreter
+                // global. The loaded pointer indexes memory (equality
+                // constraint) and the store makes the block eagerly
+                // contended — RETCON cannot repair this quantum.
+                TxValue gptr = co_await tx.load(global);
+                Addr frame_obj = tx.reify(gptr);
+                co_await tx.load(frame_obj + kWordBytes); // Peek state.
+                Word next =
+                    _objects[ds::hashKey(qid + b) % kSharedObjects];
+                co_await tx.store(global, TxValue(next));
+            }
+
+            // Operand release: balanced decref.
+            co_await ds::decref(tx, obj);
+        }
+        co_return TxValue(0);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _quanta * tid / nt;
+        Word hi = _quanta * (tid + 1) / nt;
+
+        for (Word q = lo; q < hi; ++q) {
+            co_await ctx.txn([this, &ctx, q](Tx &tx) {
+                return quantum(tx, ctx.tid(), q);
+            });
+            // GIL-free work between quanta (I/O checks, etc.).
+            co_await ctx.work(100);
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePython(const WorkloadParams &p, bool opt)
+{
+    return std::make_unique<PythonWorkload>(p, opt);
+}
+
+} // namespace retcon::workloads

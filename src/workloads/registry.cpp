@@ -1,0 +1,66 @@
+#include "workloads/workload.hpp"
+
+#include "sim/logging.hpp"
+
+namespace retcon::workloads {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "genome",       "genome-sz",       "intruder",
+        "intruder_opt", "intruder_opt-sz", "kmeans",
+        "labyrinth",    "ssca2",           "vacation",
+        "vacation_opt", "vacation_opt-sz", "yada",
+        "python",       "python_opt",      "bayes",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+baseWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "genome", "intruder", "kmeans",  "labyrinth",
+        "ssca2",  "vacation", "yada",    "python",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "genome")
+        return makeGenome(params, false);
+    if (name == "genome-sz")
+        return makeGenome(params, true);
+    if (name == "intruder")
+        return makeIntruder(params, IntruderVariant::Base);
+    if (name == "intruder_opt")
+        return makeIntruder(params, IntruderVariant::Opt);
+    if (name == "intruder_opt-sz")
+        return makeIntruder(params, IntruderVariant::OptSz);
+    if (name == "kmeans")
+        return makeKmeans(params);
+    if (name == "labyrinth")
+        return makeLabyrinth(params);
+    if (name == "ssca2")
+        return makeSsca2(params);
+    if (name == "vacation")
+        return makeVacation(params, VacationVariant::Base);
+    if (name == "vacation_opt")
+        return makeVacation(params, VacationVariant::Opt);
+    if (name == "vacation_opt-sz")
+        return makeVacation(params, VacationVariant::OptSz);
+    if (name == "yada")
+        return makeYada(params);
+    if (name == "python")
+        return makePython(params, false);
+    if (name == "python_opt")
+        return makePython(params, true);
+    if (name == "bayes")
+        return makeBayes(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace retcon::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ssca2 (Table 2): scalable synthetic compact applications graph
+ * kernels.
+ *
+ * Many tiny transactions append edges to per-node adjacency lists
+ * spread across a footprint far larger than the caches: almost no
+ * conflicts, but terrible locality (every access misses) and frequent
+ * kernel-phase barriers with uneven per-round work — which is why the
+ * paper's ssca2 scales poorly without being abort-bound (Figure 4:
+ * "bad caching behavior").
+ */
+
+#include "ds/hashtable.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class Ssca2Workload : public Workload
+{
+  public:
+    explicit Ssca2Workload(const WorkloadParams &p) : _p(p)
+    {
+        _nodes = _p.scaled(8192, 256);
+        _edges = _p.scaled(4096, 128);
+    }
+
+    std::string name() const override { return "ssca2"; }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes * 4, cluster.numThreads());
+        // Node record: [0] degree, [1..kMaxDegree] edge slots. One
+        // block per node: the footprint (8192 blocks = 512KB+) busts
+        // the L1 and thrashes the L2.
+        _nodeBase = _alloc->allocShared(_nodes * kBlockBytes);
+        for (Word i = 0; i < _nodes; ++i)
+            mem.writeWord(nodeAddr(i), 0);
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        const auto &mem = cluster.memory();
+        Word total = 0;
+        for (Word i = 0; i < _nodes; ++i)
+            total += mem.readWord(nodeAddr(i));
+        if (total != _edges) {
+            return {false, "inserted " + std::to_string(total) +
+                               " edges, expected " +
+                               std::to_string(_edges)};
+        }
+        return {true, ""};
+    }
+
+  private:
+    static constexpr Word kMaxDegree = 6;
+    static constexpr unsigned kRounds = 16;
+
+    WorkloadParams _p;
+    Word _nodes;
+    Word _edges;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    Addr _nodeBase = 0;
+
+    Addr nodeAddr(Word i) const { return _nodeBase + i * kBlockBytes; }
+
+    Task<TxValue>
+    addEdge(Tx &tx, Word node, Word target)
+    {
+        TxValue deg = co_await tx.load(nodeAddr(node));
+        Word d = tx.reify(deg); // Degree indexes the slot array.
+        if (d < kMaxDegree) {
+            co_await tx.store(nodeAddr(node) + (1 + d) * kWordBytes,
+                              TxValue(target));
+            co_await tx.store(nodeAddr(node), TxValue(d + 1));
+            co_return TxValue(1);
+        }
+        co_return TxValue(0);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _edges * tid / nt;
+        Word hi = _edges * (tid + 1) / nt;
+
+        // Kernel phases: edge construction split into rounds with a
+        // barrier each (uneven work per round -> barrier stalls).
+        for (unsigned round = 0; round < kRounds; ++round) {
+            Word rlo = lo + (hi - lo) * round / kRounds;
+            Word rhi = lo + (hi - lo) * (round + 1) / kRounds;
+            for (Word e = rlo; e < rhi; ++e) {
+                // Deterministic scattered endpoints: every access a
+                // fresh block -> cache miss.
+                Word node = ds::hashKey(e * 2654435761ull) % _nodes;
+                Word target = ds::hashKey(e + 17) % _nodes;
+                for (;;) {
+                    TxValue ok = co_await ctx.txn(
+                        [this, node, target](Tx &tx) {
+                            return addEdge(tx, node, target);
+                        });
+                    if (ok.raw() == 1)
+                        break;
+                    node = (node + 1) % _nodes; // Slot full: spill.
+                }
+                co_await ctx.work(
+                    20 + ctx.rng().below(150)); // Kernel bookkeeping.
+            }
+            co_await ctx.barrier();
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSsca2(const WorkloadParams &p)
+{
+    return std::make_unique<Ssca2Workload>(p);
+}
+
+} // namespace retcon::workloads

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * vacation / vacation_opt / vacation_opt-sz (Table 2): travel
+ * reservation system.
+ *
+ * Client transactions look up resources (cars/rooms/flights), check and
+ * decrement availability, and record the reservation in a customer
+ * map. The base variant stores tables in red-black trees (rebalancing
+ * near the root aborts concurrent clients) and packs resource records
+ * eight per coherence block (false sharing — the conflicts lazy-vb's
+ * value-based detection removes, per §5.2 "the lazy-vb variant ...
+ * experiences a significant speedup over the baseline only on vacation
+ * and vacation_opt-sz"). The _opt variants use a hashtable customer
+ * map: fixed (scales) or resizable (size-field conflicts RETCON
+ * repairs).
+ */
+
+#include "ds/hashtable.hpp"
+#include "ds/rbtree.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class VacationWorkload : public Workload
+{
+  public:
+    VacationWorkload(const WorkloadParams &p, VacationVariant v)
+        : _p(p), _variant(v)
+    {
+        _tasks = _p.scaled(1536, 64);
+        _resources = _p.scaled(512, 32);
+    }
+
+    std::string
+    name() const override
+    {
+        switch (_variant) {
+          case VacationVariant::Base: return "vacation";
+          case VacationVariant::Opt: return "vacation_opt";
+          case VacationVariant::OptSz: return "vacation_opt-sz";
+        }
+        return "vacation";
+    }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes, cluster.numThreads());
+
+        // Resource records: [0] availability, packed 8 per block
+        // (false sharing by design, as in the original allocation
+        // pattern).
+        _resourceBase = _alloc->allocShared(_resources * kWordBytes);
+        for (Word r = 0; r < _resources; ++r)
+            mem.writeWord(resourceAddr(r), kInitialAvail);
+
+        // Resource directory + customer reservation map. The maps
+        // carry existing bookings (a warmed-up reservation system),
+        // so new inserts land deep and rebalancing stays local.
+        if (_variant == VacationVariant::Base) {
+            _dirTree = ds::SimRBTree::create(mem, *_alloc);
+            _custTree = ds::SimRBTree::create(mem, *_alloc);
+            for (Word r = 0; r < _resources; ++r)
+                _dirTree.hostInsert(mem, r, resourceAddr(r));
+            for (Word w = 1; w <= 2 * _tasks; ++w)
+                _custTree.hostInsert(mem,
+                                     ds::hashKey(w + (Word(1) << 40)),
+                                     w);
+        } else {
+            bool resizable = _variant == VacationVariant::OptSz;
+            _dirHt = ds::SimHashtable::create(mem, *_alloc, 1024, false);
+            _custHt = ds::SimHashtable::create(
+                mem, *_alloc, resizable ? 1024 : 2048, resizable);
+            for (Word r = 0; r < _resources; ++r)
+                _dirHt.hostInsert(mem, r, resourceAddr(r));
+            for (Word w = 1; w <= 2 * _tasks; ++w)
+                _custHt.hostInsert(mem,
+                                   ds::hashKey(w + (Word(1) << 40)), w);
+        }
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        const auto &mem = cluster.memory();
+        Word sold = 0;
+        for (Word r = 0; r < _resources; ++r) {
+            Word avail = mem.readWord(resourceAddr(r));
+            if (avail > kInitialAvail)
+                return {false, "availability increased"};
+            sold += kInitialAvail - avail;
+        }
+        Word booked = (_variant == VacationVariant::Base
+                           ? _custTree.hostCount(mem)
+                           : _custHt.hostCountNodes(mem)) -
+                      2 * _tasks; // Minus the warmup bookings.
+        if (sold != booked) {
+            return {false, "sold " + std::to_string(sold) +
+                               " units but booked " +
+                               std::to_string(booked)};
+        }
+        if (_variant == VacationVariant::Base &&
+            (!_dirTree.hostCheckInvariants(mem) ||
+             !_custTree.hostCheckInvariants(mem)))
+            return {false, "red-black invariants violated"};
+        return {true, ""};
+    }
+
+  private:
+    static constexpr Word kInitialAvail = 100;
+
+    WorkloadParams _p;
+    VacationVariant _variant;
+    Word _tasks;
+    Word _resources;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    Addr _resourceBase = 0;
+    ds::SimRBTree _dirTree, _custTree;
+    ds::SimHashtable _dirHt, _custHt;
+
+    Addr
+    resourceAddr(Word r) const
+    {
+        return _resourceBase + r * kWordBytes;
+    }
+
+    /** One client request: queries, one reservation, one booking. */
+    Task<TxValue>
+    makeReservation(Tx &tx, unsigned tid, Word customer, Word r0,
+                    Word r1, Word r2, bool reserve)
+    {
+        // Browse: look up several resources in the directory.
+        for (Word r : {r0, r1, r2}) {
+            TxValue rec = _variant == VacationVariant::Base
+                              ? co_await _dirTree.lookup(tx, r)
+                              : co_await _dirHt.lookup(tx, r);
+            (void)rec;
+            co_await tx.work(250); // Price comparison.
+        }
+        if (!reserve)
+            co_return TxValue(0); // Query-only session.
+
+        // Reserve r0: availability check + decrement.
+        TxValue avail = co_await tx.load(resourceAddr(r0));
+        if (tx.cmp(avail, rtc::CmpOp::LE, 0))
+            co_return TxValue(0); // Sold out.
+        co_await tx.store(resourceAddr(r0), tx.sub(avail, 1));
+
+        // Book: record the reservation under this customer.
+        TxValue ins =
+            _variant == VacationVariant::Base
+                ? co_await _custTree.insert(tx, tid,
+                                            ds::hashKey(customer), r0)
+                : co_await _custHt.insert(tx, tid,
+                                          ds::hashKey(customer), r0);
+        if (tx.cmpv(ins, rtc::CmpOp::EQ, TxValue(0))) {
+            // Duplicate booking id: undo the decrement (stay
+            // consistent; ids are unique so this is cold).
+            TxValue a2 = co_await tx.load(resourceAddr(r0));
+            co_await tx.store(resourceAddr(r0), tx.add(a2, 1));
+            co_return TxValue(0);
+        }
+        co_return TxValue(1);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _tasks * tid / nt;
+        Word hi = _tasks * (tid + 1) / nt;
+
+        for (Word t = lo; t < hi; ++t) {
+            Word customer = t + 1; // Unique booking id.
+            Word r0 = ctx.rng().below(_resources);
+            Word r1 = ctx.rng().below(_resources);
+            Word r2 = ctx.rng().below(_resources);
+            bool reserve = ctx.rng().chance(35, 100);
+            co_await ctx.txn(
+                [this, &ctx, customer, r0, r1, r2, reserve](Tx &tx) {
+                    return makeReservation(tx, ctx.tid(), customer, r0,
+                                           r1, r2, reserve);
+                });
+            co_await ctx.work(300); // Client think time.
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVacation(const WorkloadParams &p, VacationVariant v)
+{
+    return std::make_unique<VacationWorkload>(p, v);
+}
+
+} // namespace retcon::workloads

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Workload framework: the Table 2 suite against the simulated machine.
+ *
+ * A Workload owns the simulated data it sets up, produces one thread
+ * program per core, and validates the final functional state after the
+ * run (every workload has a machine-checkable correctness property, so
+ * the TM implementations are continuously cross-checked for
+ * serializability of committed state).
+ *
+ * The `scale` parameter multiplies input sizes: the benches run at
+ * scale 1.0; tests use smaller scales for speed.
+ */
+
+#ifndef RETCON_WORKLOADS_WORKLOAD_HPP
+#define RETCON_WORKLOADS_WORKLOAD_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/sim_alloc.hpp"
+#include "exec/cluster.hpp"
+
+namespace retcon::workloads {
+
+/** Sizing/seeding knobs shared by all workloads. */
+struct WorkloadParams {
+    unsigned nthreads = 32;
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+
+    /** Scaled size helper: max(min_value, round(base * scale)). */
+    Word
+    scaled(Word base, Word min_value = 1) const
+    {
+        auto v = static_cast<Word>(static_cast<double>(base) * scale);
+        return v < min_value ? min_value : v;
+    }
+};
+
+/** Result of post-run functional validation. */
+struct ValidationResult {
+    bool ok = true;
+    std::string note;
+};
+
+/** One Table 2 workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Canonical name (matches Table 2, e.g. "intruder_opt-sz"). */
+    virtual std::string name() const = 0;
+
+    /** Initialize simulated memory (functional, zero simulated time). */
+    virtual void setup(exec::Cluster &cluster) = 0;
+
+    /** Per-thread program factory. */
+    virtual exec::Core::ProgramFactory program() = 0;
+
+    /** Check the final functional state. */
+    virtual ValidationResult validate(exec::Cluster &cluster) = 0;
+
+  protected:
+    /** Shared allocator placement for all workloads. */
+    static constexpr Addr kHeapBase = 0x10000000;
+    static constexpr Addr kArenaBytes = 6 * 1024 * 1024;
+};
+
+/** Construct a workload by Table 2 name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/** All Table 2 names, in the paper's figure order. */
+const std::vector<std::string> &workloadNames();
+
+/** The 8 unmodified workloads of Figure 1. */
+const std::vector<std::string> &baseWorkloadNames();
+
+// Per-workload constructors (variants share an implementation).
+std::unique_ptr<Workload> makeGenome(const WorkloadParams &p,
+                                     bool resizable);
+enum class IntruderVariant { Base, Opt, OptSz };
+std::unique_ptr<Workload> makeIntruder(const WorkloadParams &p,
+                                       IntruderVariant v);
+std::unique_ptr<Workload> makeKmeans(const WorkloadParams &p);
+std::unique_ptr<Workload> makeLabyrinth(const WorkloadParams &p);
+std::unique_ptr<Workload> makeSsca2(const WorkloadParams &p);
+enum class VacationVariant { Base, Opt, OptSz };
+std::unique_ptr<Workload> makeVacation(const WorkloadParams &p,
+                                       VacationVariant v);
+std::unique_ptr<Workload> makeYada(const WorkloadParams &p);
+std::unique_ptr<Workload> makePython(const WorkloadParams &p, bool opt);
+std::unique_ptr<Workload> makeBayes(const WorkloadParams &p);
+
+} // namespace retcon::workloads
+
+#endif // RETCON_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * yada (Table 2): Delaunay mesh refinement.
+ *
+ * Threads repeatedly pick bad mesh elements and refine their cavities,
+ * chasing neighbour pointers through the shared mesh. The contended
+ * values *are* the addresses of the traversal, so RETCON's equality
+ * constraints fire whenever cavities overlap — the class of conflicts
+ * §5.4 identifies as unrepairable (a different element selected at
+ * commit would invalidate most of the transaction's work).
+ */
+
+#include "ds/mesh.hpp"
+#include "ds/hashtable.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class YadaWorkload : public Workload
+{
+  public:
+    explicit YadaWorkload(const WorkloadParams &p) : _p(p)
+    {
+        _meshNodes = _p.scaled(256, 64);
+        _refinements = _p.scaled(768, 32);
+    }
+
+    std::string name() const override { return "yada"; }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes, cluster.numThreads());
+        Xoshiro rng(_p.seed * 313 + 11);
+        _mesh = ds::SimMesh::create(mem, *_alloc, _meshNodes, 40, rng);
+        // Shared worklist cursor: every refinement claims its seed
+        // from here. The loaded value *selects the element* (address
+        // computation), the paper's exact example of an unrepairable
+        // conflict: "a repair that involves selecting a different
+        // list element at commit ... little savings over a full
+        // abort" (§5.4).
+        _worklist = _alloc->allocShared(kBlockBytes);
+        mem.writeWord(_worklist, 0);
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        // Committed refinements report how many elements they touched;
+        // the sum of epoch counters in the mesh must match exactly
+        // (every committed touch is visible, no lost updates).
+        const auto &mem = cluster.memory();
+        Word epochs = 0;
+        for (Word i = 0; i < _mesh.numNodes(); ++i)
+            epochs += mem.readWord(_mesh.node(i) +
+                                   ds::SimMesh::kEpoch * kWordBytes);
+        if (epochs != _touchedTotal) {
+            return {false, "epoch sum " + std::to_string(epochs) +
+                               " != committed touches " +
+                               std::to_string(_touchedTotal)};
+        }
+        if (_touchedTotal == 0)
+            return {false, "no refinement committed"};
+        return {true, ""};
+    }
+
+  private:
+    WorkloadParams _p;
+    Word _meshNodes;
+    Word _refinements;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    ds::SimMesh _mesh;
+    Addr _worklist = 0;
+    Word _touchedTotal = 0;
+
+    Task<TxValue>
+    claimSeed(Tx &tx)
+    {
+        TxValue cursor = co_await tx.load(_worklist);
+        Word idx = tx.reify(cursor); // Seed selection: address use.
+        co_await tx.store(_worklist, TxValue(idx + 1));
+        co_return TxValue(idx);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        if (ctx.tid() == 0)
+            _touchedTotal = 0;
+        co_await ctx.barrier();
+
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _refinements * tid / nt;
+        Word hi = _refinements * (tid + 1) / nt;
+
+        for (Word r = lo; r < hi; ++r) {
+            unsigned depth = 8 + r % 9;
+            // Claim the next bad element from the shared worklist,
+            // then refine its cavity. The cavity transaction's
+            // conflicts are on mesh pointers consumed as addresses —
+            // unrepairable (§5.4).
+            TxValue idxv = co_await ctx.txn(
+                [this](Tx &tx) { return claimSeed(tx); });
+            Word seed = ds::hashKey(idxv.raw() * 9176 + 3) %
+                        _mesh.numNodes();
+            TxValue touched =
+                co_await ctx.txn([this, seed, depth](Tx &tx) {
+                    return _mesh.refine(tx, _mesh.node(seed), depth);
+                });
+            _touchedTotal += touched.raw();
+            co_await ctx.work(60); // New-point insertion bookkeeping.
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeYada(const WorkloadParams &p)
+{
+    return std::make_unique<YadaWorkload>(p);
+}
+
+} // namespace retcon::workloads

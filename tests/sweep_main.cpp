@@ -1,0 +1,47 @@
+// Development sweep driver: run every workload under the three paper
+// configurations, validate functional state, print speedups.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/runner.hpp"
+
+using namespace retcon;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+    unsigned nthreads = argc > 2 ? std::atoi(argv[2]) : 8;
+    const char *only = argc > 3 ? argv[3] : nullptr;
+
+    std::printf("%-18s %10s | %8s %8s %8s | ok\n", "workload",
+                "seq-cyc", "eager", "lazy-vb", "retcon");
+    bool all_ok = true;
+    for (const auto &name : workloads::workloadNames()) {
+        if (only && name != only)
+            continue;
+        api::RunConfig cfg;
+        cfg.workload = name;
+        cfg.nthreads = nthreads;
+        cfg.scale = scale;
+        Cycle seq = api::sequentialCycles(cfg);
+        std::printf("%-18s %10llu |", name.c_str(),
+                    (unsigned long long)seq);
+        bool ok = true;
+        for (auto &[label, tm] : api::paperConfigs()) {
+            cfg.tm = tm;
+            api::RunResult r = api::runOnce(cfg);
+            double speedup = double(seq) / double(r.cycles);
+            std::printf(" %8.2f", speedup);
+            if (!r.validation.ok) {
+                ok = false;
+                std::printf("(INVALID: %s)", r.validation.note.c_str());
+            }
+            std::fflush(stdout);
+        }
+        std::printf(" | %s\n", ok ? "yes" : "NO");
+        all_ok = all_ok && ok;
+    }
+    return all_ok ? 0 : 1;
+}

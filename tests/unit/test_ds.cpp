@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the simulated data structures: hashtable mirrored against
+ * std::unordered_map (including through resizes and under concurrent
+ * mixed workloads), red-black invariants, queue FIFO order, allocator
+ * segregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "ds/grid.hpp"
+#include "ds/hashtable.hpp"
+#include "ds/mesh.hpp"
+#include "ds/queue.hpp"
+#include "ds/rbtree.hpp"
+#include "ds/refcount.hpp"
+#include "exec/cluster.hpp"
+
+using namespace retcon;
+using namespace retcon::exec;
+
+namespace {
+
+struct DsRig {
+    Cluster cl;
+    ds::SimAllocator alloc;
+
+    explicit DsRig(unsigned nthreads = 1,
+                   htm::TMMode mode = htm::TMMode::Serial)
+        : cl(makeCfg(nthreads, mode)),
+          alloc(0x10000000, 8 << 20, nthreads)
+    {}
+
+    static ClusterConfig
+    makeCfg(unsigned nthreads, htm::TMMode mode)
+    {
+        ClusterConfig cfg;
+        cfg.numThreads = nthreads;
+        cfg.tm.mode = mode;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST(Allocator, AllocationsNeverOverlap)
+{
+    ds::SimAllocator alloc(0x10000000, 1 << 20, 4);
+    std::set<Addr> blocks;
+    for (unsigned t = 0; t < 4; ++t) {
+        for (int i = 0; i < 50; ++i) {
+            Addr a = alloc.alloc(t, 24);
+            // Block-aligned per-thread allocations: each lands on a
+            // fresh block.
+            EXPECT_EQ(blockAddr(a), a);
+            EXPECT_TRUE(blocks.insert(a).second);
+        }
+    }
+}
+
+TEST(Allocator, SharedArenaIsWordPacked)
+{
+    ds::SimAllocator alloc(0x10000000, 1 << 20, 1);
+    Addr a = alloc.allocShared(8);
+    Addr b = alloc.allocShared(8);
+    EXPECT_EQ(b, a + 8); // Packed: false sharing is *possible* here.
+}
+
+TEST(AllocatorDeath, ArenaExhaustionIsFatal)
+{
+    ds::SimAllocator alloc(0x10000000, 4096, 1);
+    EXPECT_DEATH(
+        {
+            for (int i = 0; i < 1000; ++i)
+                alloc.alloc(0, kBlockBytes);
+        },
+        "exhausted");
+}
+
+TEST(Hashtable, MirrorsStdMapThroughResizes)
+{
+    DsRig rig;
+    auto table = ds::SimHashtable::create(rig.cl.memory(), rig.alloc, 4,
+                                          /*resizable=*/true);
+    std::unordered_map<Word, Word> mirror;
+    Xoshiro rng(5);
+
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (int i = 0; i < 300; ++i) {
+            Word key = rng.below(120);
+            unsigned op = static_cast<unsigned>(rng.below(3));
+            if (op == 0) {
+                co_await ctx.txn([&table, &ctx, key](Tx &tx) {
+                    return table.insert(tx, ctx.tid(), key, key * 3);
+                });
+                mirror.emplace(key, key * 3);
+            } else if (op == 1) {
+                TxValue found =
+                    co_await ctx.txn([&table, key](Tx &tx) {
+                        return table.lookup(tx, key);
+                    });
+                if (mirror.count(key)) {
+                    EXPECT_EQ(found.raw(), mirror[key] + 1);
+                } else {
+                    EXPECT_EQ(found.raw(), 0u);
+                }
+            } else {
+                TxValue removed =
+                    co_await ctx.txn([&table, key](Tx &tx) {
+                        return table.remove(tx, key);
+                    });
+                EXPECT_EQ(removed.raw(), mirror.erase(key));
+            }
+        }
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+
+    EXPECT_EQ(table.hostCountNodes(rig.cl.memory()), mirror.size());
+    EXPECT_EQ(table.hostSize(rig.cl.memory()), mirror.size());
+    // It must actually have grown from 4 buckets.
+    EXPECT_GT(table.hostNumBuckets(rig.cl.memory()), 4u);
+    for (const auto &[k, v] : mirror)
+        EXPECT_TRUE(table.hostContains(rig.cl.memory(), k));
+}
+
+TEST(Hashtable, ConcurrentInsertsAllLand)
+{
+    DsRig rig(8, htm::TMMode::Retcon);
+    auto table = ds::SimHashtable::create(rig.cl.memory(), rig.alloc,
+                                          16, true);
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (int i = 0; i < 40; ++i) {
+            Word key = ctx.tid() * 1000 + i;
+            co_await ctx.txn([&table, &ctx, key](Tx &tx) {
+                return table.insert(tx, ctx.tid(), key, key);
+            });
+        }
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_EQ(table.hostCountNodes(rig.cl.memory()), 320u);
+    EXPECT_EQ(table.hostSize(rig.cl.memory()), 320u);
+}
+
+TEST(RbTree, InvariantsHoldUnderConcurrentInserts)
+{
+    for (auto mode : {htm::TMMode::Eager, htm::TMMode::LazyVB,
+                      htm::TMMode::Retcon}) {
+        DsRig rig(6, mode);
+        auto tree = ds::SimRBTree::create(rig.cl.memory(), rig.alloc);
+        rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+            for (int i = 0; i < 50; ++i) {
+                Word key =
+                    ds::hashKey(ctx.tid() * 333 + Word(i) + 1);
+                co_await ctx.txn([&tree, &ctx, key](Tx &tx) {
+                    return tree.insert(tx, ctx.tid(), key, key);
+                });
+            }
+            co_await ctx.barrier();
+        });
+        rig.cl.run();
+        EXPECT_TRUE(tree.hostCheckInvariants(rig.cl.memory()))
+            << "mode " << htm::tmModeName(mode);
+        EXPECT_EQ(tree.hostCount(rig.cl.memory()), 300u);
+    }
+}
+
+TEST(RbTree, LookupAndLazyRemove)
+{
+    DsRig rig;
+    auto tree = ds::SimRBTree::create(rig.cl.memory(), rig.alloc);
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (Word k = 1; k <= 20; ++k)
+            co_await ctx.txn([&tree, &ctx, k](Tx &tx) {
+                return tree.insert(tx, ctx.tid(), k, k * 7);
+            });
+        TxValue v = co_await ctx.txn(
+            [&tree](Tx &tx) { return tree.lookup(tx, 13); });
+        EXPECT_EQ(v.raw(), 13u * 7 + 1);
+        TxValue r = co_await ctx.txn(
+            [&tree](Tx &tx) { return tree.remove(tx, 13); });
+        EXPECT_EQ(r.raw(), 1u);
+        v = co_await ctx.txn(
+            [&tree](Tx &tx) { return tree.lookup(tx, 13); });
+        EXPECT_EQ(v.raw(), 0u);
+        // Reinsert revives the tombstone.
+        r = co_await ctx.txn([&tree, &ctx](Tx &tx) {
+            return tree.insert(tx, ctx.tid(), 13, 99);
+        });
+        EXPECT_EQ(r.raw(), 1u);
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_EQ(tree.hostCount(rig.cl.memory()), 20u);
+    EXPECT_TRUE(tree.hostCheckInvariants(rig.cl.memory()));
+}
+
+TEST(Queue, FifoOrderSingleThread)
+{
+    DsRig rig;
+    auto q = ds::SimQueue::create(rig.cl.memory(), rig.alloc);
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (Word v = 1; v <= 10; ++v)
+            co_await ctx.txn([&q, &ctx, v](Tx &tx) {
+                return q.enqueue(tx, ctx.tid(), v);
+            });
+        for (Word v = 1; v <= 10; ++v) {
+            TxValue got = co_await ctx.txn(
+                [&q](Tx &tx) { return q.dequeue(tx); });
+            EXPECT_EQ(got.raw(), v + 1);
+        }
+        TxValue empty = co_await ctx.txn(
+            [&q](Tx &tx) { return q.dequeue(tx); });
+        EXPECT_EQ(empty.raw(), 0u);
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_EQ(q.hostCount(rig.cl.memory()), 0u);
+}
+
+TEST(Queue, ConcurrentDrainDeliversEachItemOnce)
+{
+    for (auto mode : {htm::TMMode::Eager, htm::TMMode::Retcon}) {
+        DsRig rig(6, mode);
+        auto q = ds::SimQueue::create(rig.cl.memory(), rig.alloc);
+        for (Word v = 1; v <= 120; ++v)
+            q.hostEnqueue(rig.cl.memory(), v);
+        std::vector<Word> seen;
+        rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+            for (;;) {
+                TxValue got = co_await ctx.txn(
+                    [&q](Tx &tx) { return q.dequeue(tx); });
+                if (got.raw() == 0)
+                    break;
+                seen.push_back(got.raw() - 1);
+            }
+            co_await ctx.barrier();
+        });
+        rig.cl.run();
+        std::sort(seen.begin(), seen.end());
+        ASSERT_EQ(seen.size(), 120u) << htm::tmModeName(mode);
+        for (Word v = 1; v <= 120; ++v)
+            EXPECT_EQ(seen[v - 1], v);
+    }
+}
+
+TEST(RefCount, BalancedPairsRestoreCount)
+{
+    DsRig rig(4, htm::TMMode::Retcon);
+    Addr obj = ds::makeRefCounted(rig.cl.memory(), rig.alloc, 2, 50);
+    rig.cl.machine().predictor().observeConflict(blockAddr(obj));
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (int i = 0; i < 30; ++i) {
+            co_await ctx.txn([obj](Tx &tx) -> Task<TxValue> {
+                co_await ds::incref(tx, obj);
+                co_await tx.work(20);
+                co_await ds::decref(tx, obj);
+                co_return TxValue(0);
+            });
+        }
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_EQ(rig.cl.memory().readWord(obj), 50u);
+}
+
+TEST(Grid, ClaimPathIsAllOrNothing)
+{
+    DsRig rig;
+    auto grid =
+        ds::SimGrid::create(rig.cl.memory(), rig.alloc, 8, 8, 2);
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        std::vector<Word> path1{1, 2, 3};
+        std::vector<Word> path2{3, 4, 5}; // Overlaps path1 at cell 3.
+        TxValue ok1 = co_await ctx.txn([&](Tx &tx) {
+            return grid.claimPath(tx, path1, 7);
+        });
+        EXPECT_EQ(ok1.raw(), 1u);
+        TxValue ok2 = co_await ctx.txn([&](Tx &tx) {
+            return grid.claimPath(tx, path2, 8);
+        });
+        EXPECT_EQ(ok2.raw(), 0u);
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_EQ(grid.hostClaimedCells(rig.cl.memory()), 3u);
+}
+
+TEST(Mesh, RefineClearsBadFlagsAndBumpsEpochs)
+{
+    DsRig rig;
+    Xoshiro rng(3);
+    auto mesh = ds::SimMesh::create(rig.cl.memory(), rig.alloc, 32,
+                                    100, rng);
+    ASSERT_EQ(mesh.hostCountBad(rig.cl.memory()), 32u);
+    Word touched_total = 0;
+    rig.cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        TxValue touched = co_await ctx.txn([&](Tx &tx) {
+            return mesh.refine(tx, mesh.node(0), 6);
+        });
+        touched_total = touched.raw();
+        co_await ctx.barrier();
+    });
+    rig.cl.run();
+    EXPECT_GT(touched_total, 0u);
+    EXPECT_LT(mesh.hostCountBad(rig.cl.memory()), 32u);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Integration tests for the coroutine execution runtime: transaction
+ * retry, commit-value delivery with symbolic repair, barriers, cycle
+ * accounting, and the serializability property suite (random counter
+ * programs must produce identical committed state in every TM mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/cluster.hpp"
+
+using namespace retcon;
+using namespace retcon::exec;
+
+namespace {
+
+constexpr Addr kCounter = 0x1000;
+
+Task<TxValue>
+incrementBody(Tx &tx, Addr addr, std::int64_t delta)
+{
+    TxValue v = co_await tx.load(addr);
+    v = tx.add(v, delta);
+    co_await tx.store(addr, v);
+    co_return v;
+}
+
+} // namespace
+
+TEST(ExecRuntime, SingleThreadTxnDeliversValue)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = 1;
+    cfg.tm.mode = htm::TMMode::Eager;
+    Cluster cl(cfg);
+    cl.memory().writeWord(kCounter, 41);
+    Word seen = 0;
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        TxValue r = co_await ctx.txn([](Tx &tx) {
+            return incrementBody(tx, kCounter, 1);
+        });
+        seen = r.raw();
+        co_await ctx.barrier();
+    });
+    cl.run();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(cl.memory().readWord(kCounter), 42u);
+}
+
+TEST(ExecRuntime, ReturnedSymbolicValueIsRepaired)
+{
+    // Under RETCON the returned value must reflect the *final* input
+    // value, not the one observed during execution.
+    ClusterConfig cfg;
+    cfg.numThreads = 2;
+    cfg.tm.mode = htm::TMMode::Retcon;
+    Cluster cl(cfg);
+    cl.machine().predictor().observeConflict(blockAddr(kCounter));
+    Word results[2] = {};
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        TxValue r = co_await ctx.txn([](Tx &tx) {
+            return incrementBody(tx, kCounter, 1);
+        });
+        results[ctx.tid()] = r.raw();
+        co_await ctx.barrier();
+    });
+    cl.run();
+    EXPECT_EQ(cl.memory().readWord(kCounter), 2u);
+    // One transaction returned 1, the other (repaired) returned 2.
+    EXPECT_EQ(results[0] + results[1], 3u);
+}
+
+TEST(ExecRuntime, AccountingPartitionsCoreTime)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = 4;
+    cfg.tm.mode = htm::TMMode::Eager;
+    Cluster cl(cfg);
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (int i = 0; i < 10; ++i) {
+            co_await ctx.txn([](Tx &tx) {
+                return incrementBody(tx, kCounter, 1);
+            });
+            co_await ctx.work(17);
+        }
+        co_await ctx.barrier();
+    });
+    cl.run();
+    for (unsigned c = 0; c < 4; ++c) {
+        const auto &core = cl.core(c);
+        // Every cycle from 0 to the finish cycle lands in a bucket.
+        EXPECT_NEAR(core.breakdown().total(),
+                    double(core.stats().finishCycle), 2.0)
+            << "core " << c;
+    }
+}
+
+TEST(ExecRuntime, WorkChargesExactCycles)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = 1;
+    Cluster cl(cfg);
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        co_await ctx.work(123);
+        co_await ctx.barrier();
+    });
+    Cycle end = cl.run();
+    EXPECT_GE(end, 123u);
+    EXPECT_LE(end, 130u); // + barrier release cycle.
+}
+
+TEST(ExecRuntime, BarrierReleasesAllTogether)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = 4;
+    Cluster cl(cfg);
+    Cycle releases[4] = {};
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        co_await ctx.work(100 * (ctx.tid() + 1));
+        co_await ctx.barrier();
+        releases[ctx.tid()] = cl.eventQueue().now();
+        co_await ctx.barrier();
+    });
+    cl.run();
+    // All threads resumed at the same cycle, after the slowest (400).
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(releases[i], releases[0]);
+        EXPECT_GE(releases[i], 400u);
+    }
+    // The early arrivals accumulated barrier time.
+    EXPECT_GT(cl.core(0).breakdown().barrier, 250.0);
+}
+
+TEST(ExecRuntime, AbortedAttemptsRetryUntilCommit)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = 8;
+    cfg.tm.mode = htm::TMMode::Eager;
+    Cluster cl(cfg);
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        for (int i = 0; i < 25; ++i)
+            co_await ctx.txn([](Tx &tx) {
+                return incrementBody(tx, kCounter, 1);
+            });
+        co_await ctx.barrier();
+    });
+    cl.run();
+    EXPECT_EQ(cl.memory().readWord(kCounter), 200u);
+    auto agg = cl.aggregateStats();
+    EXPECT_EQ(agg.commits, 200u);
+    EXPECT_GT(agg.aborts + cl.machine().stats().nacks, 0u)
+        << "8 threads on one counter must have conflicted";
+}
+
+TEST(ExecRuntime, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        ClusterConfig cfg;
+        cfg.numThreads = 6;
+        cfg.tm.mode = htm::TMMode::Retcon;
+        cfg.seed = 33;
+        Cluster cl(cfg);
+        cl.machine().predictor().observeConflict(blockAddr(kCounter));
+        cl.start([&](WorkerCtx &ctx) -> Task<void> {
+            for (int i = 0; i < 20; ++i) {
+                co_await ctx.txn([](Tx &tx) {
+                    return incrementBody(tx, kCounter, 1);
+                });
+                co_await ctx.work(ctx.rng().below(50));
+            }
+            co_await ctx.barrier();
+        });
+        return cl.run();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------
+// Serializability property suite: random multi-counter programs must
+// leave the same committed sums in every mode (adds commute, so the
+// final value of each counter equals the sum of all committed deltas,
+// which equals the statically-known total).
+// ---------------------------------------------------------------------
+
+class SerializabilityTest
+    : public ::testing::TestWithParam<std::tuple<htm::TMMode, int>>
+{};
+
+TEST_P(SerializabilityTest, RandomCounterProgramsCommitExactly)
+{
+    auto [mode, seed] = GetParam();
+    constexpr int kCounters = 6;
+    constexpr int kTxnsPerThread = 30;
+    const unsigned nthreads = 6;
+
+    ClusterConfig cfg;
+    cfg.numThreads = nthreads;
+    cfg.tm.mode = mode;
+    cfg.seed = seed;
+    Cluster cl(cfg);
+    for (int c = 0; c < kCounters; ++c)
+        cl.machine().predictor().observeConflict(
+            blockAddr(0x1000 + Addr(c) * kBlockBytes));
+
+    // Expected totals computed from the same deterministic streams.
+    std::int64_t expected[kCounters] = {};
+    for (unsigned t = 0; t < nthreads; ++t) {
+        Xoshiro rng = Xoshiro::forThread(7 * seed + 1, t);
+        for (int i = 0; i < kTxnsPerThread; ++i) {
+            int c = static_cast<int>(rng.below(kCounters));
+            std::int64_t d =
+                static_cast<std::int64_t>(rng.below(9)) - 4;
+            expected[c] += d;
+        }
+    }
+
+    cl.start([&](WorkerCtx &ctx) -> Task<void> {
+        Xoshiro rng =
+            Xoshiro::forThread(7 * Word(std::get<1>(GetParam())) + 1,
+                               ctx.tid());
+        for (int i = 0; i < kTxnsPerThread; ++i) {
+            int c = static_cast<int>(rng.below(kCounters));
+            std::int64_t d =
+                static_cast<std::int64_t>(rng.below(9)) - 4;
+            Addr addr = 0x1000 + Addr(c) * kBlockBytes;
+            co_await ctx.txn([addr, d](Tx &tx) {
+                return incrementBody(tx, addr, d);
+            });
+        }
+        co_await ctx.barrier();
+    });
+    cl.run();
+
+    for (int c = 0; c < kCounters; ++c) {
+        EXPECT_EQ(static_cast<std::int64_t>(cl.memory().readWord(
+                      0x1000 + Addr(c) * kBlockBytes)),
+                  expected[c])
+            << "counter " << c << " under mode "
+            << htm::tmModeName(mode);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SerializabilityTest,
+    ::testing::Combine(
+        ::testing::Values(htm::TMMode::Serial, htm::TMMode::Eager,
+                          htm::TMMode::Lazy, htm::TMMode::LazyVB,
+                          htm::TMMode::Retcon, htm::TMMode::DATM),
+        ::testing::Values(1, 2, 3)));

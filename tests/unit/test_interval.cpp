@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Property-style tests for the interval constraint algebra (§4.4).
+ *
+ * The soundness obligation: the interval must never *accept* a value
+ * that some recorded constraint rejects (accepting too much would let
+ * RETCON commit state computed from an impossible input). Rejecting
+ * too much merely costs a spurious abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "retcon/interval.hpp"
+#include "sim/random.hpp"
+
+using namespace retcon;
+using namespace retcon::rtc;
+
+TEST(Interval, DefaultUnconstrained)
+{
+    Interval iv;
+    EXPECT_TRUE(iv.unconstrained());
+    EXPECT_FALSE(iv.empty());
+    EXPECT_TRUE(iv.contains(0));
+    EXPECT_TRUE(iv.contains(std::numeric_limits<std::int64_t>::min()));
+    EXPECT_TRUE(iv.contains(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(Interval, SingleConstraints)
+{
+    {
+        Interval iv;
+        EXPECT_TRUE(iv.constrain(CmpOp::LT, 10));
+        EXPECT_TRUE(iv.contains(9));
+        EXPECT_FALSE(iv.contains(10));
+    }
+    {
+        Interval iv;
+        EXPECT_TRUE(iv.constrain(CmpOp::LE, 10));
+        EXPECT_TRUE(iv.contains(10));
+        EXPECT_FALSE(iv.contains(11));
+    }
+    {
+        Interval iv;
+        EXPECT_TRUE(iv.constrain(CmpOp::EQ, 10));
+        EXPECT_TRUE(iv.contains(10));
+        EXPECT_FALSE(iv.contains(9));
+        EXPECT_FALSE(iv.contains(11));
+    }
+    {
+        Interval iv;
+        EXPECT_TRUE(iv.constrain(CmpOp::GE, 10));
+        EXPECT_TRUE(iv.contains(10));
+        EXPECT_FALSE(iv.contains(9));
+    }
+    {
+        Interval iv;
+        EXPECT_TRUE(iv.constrain(CmpOp::GT, 10));
+        EXPECT_TRUE(iv.contains(11));
+        EXPECT_FALSE(iv.contains(10));
+    }
+}
+
+TEST(Interval, NeAtEdgesIsExact)
+{
+    Interval iv;
+    iv.constrain(CmpOp::GE, 5);
+    iv.constrain(CmpOp::LE, 10);
+    EXPECT_TRUE(iv.constrain(CmpOp::NE, 5));
+    EXPECT_FALSE(iv.contains(5));
+    EXPECT_TRUE(iv.contains(6));
+    EXPECT_TRUE(iv.constrain(CmpOp::NE, 10));
+    EXPECT_FALSE(iv.contains(10));
+}
+
+TEST(Interval, NeOutsideIsFree)
+{
+    Interval iv;
+    iv.constrain(CmpOp::GE, 5);
+    iv.constrain(CmpOp::LE, 10);
+    EXPECT_TRUE(iv.constrain(CmpOp::NE, 100));
+    EXPECT_TRUE(iv.contains(7));
+}
+
+TEST(Interval, InteriorNeIsRejectedNotDropped)
+{
+    Interval iv;
+    iv.constrain(CmpOp::GE, 0);
+    iv.constrain(CmpOp::LE, 10);
+    Interval before = iv;
+    // Interior exclusion cannot be represented: the call must refuse
+    // (so the caller falls back to an equality pin) and must leave the
+    // interval untouched.
+    EXPECT_FALSE(iv.constrain(CmpOp::NE, 5));
+    EXPECT_EQ(iv, before);
+}
+
+TEST(Interval, ContradictionBecomesEmpty)
+{
+    Interval iv;
+    iv.constrain(CmpOp::GT, 10);
+    iv.constrain(CmpOp::LT, 5);
+    EXPECT_TRUE(iv.empty());
+    EXPECT_FALSE(iv.contains(7));
+}
+
+TEST(Interval, NegationTable)
+{
+    EXPECT_EQ(negate(CmpOp::LT), CmpOp::GE);
+    EXPECT_EQ(negate(CmpOp::LE), CmpOp::GT);
+    EXPECT_EQ(negate(CmpOp::EQ), CmpOp::NE);
+    EXPECT_EQ(negate(CmpOp::NE), CmpOp::EQ);
+    EXPECT_EQ(negate(CmpOp::GE), CmpOp::LT);
+    EXPECT_EQ(negate(CmpOp::GT), CmpOp::LE);
+}
+
+TEST(Interval, EvalCmpMatchesOperators)
+{
+    for (std::int64_t a : {-3, 0, 7}) {
+        for (std::int64_t b : {-3, 0, 7}) {
+            EXPECT_EQ(evalCmp(a, CmpOp::LT, b), a < b);
+            EXPECT_EQ(evalCmp(a, CmpOp::LE, b), a <= b);
+            EXPECT_EQ(evalCmp(a, CmpOp::EQ, b), a == b);
+            EXPECT_EQ(evalCmp(a, CmpOp::NE, b), a != b);
+            EXPECT_EQ(evalCmp(a, CmpOp::GE, b), a >= b);
+            EXPECT_EQ(evalCmp(a, CmpOp::GT, b), a > b);
+        }
+    }
+}
+
+/**
+ * Property sweep: apply random constraint sequences and verify the
+ * interval never accepts a rejected value (soundness) over a probe
+ * grid, whenever the constraint was accepted as exact.
+ */
+class IntervalPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(IntervalPropertyTest, SoundnessUnderRandomConstraintSequences)
+{
+    Xoshiro rng(GetParam() * 7919 + 13);
+    for (int trial = 0; trial < 200; ++trial) {
+        Interval iv;
+        std::vector<std::pair<CmpOp, std::int64_t>> accepted;
+        for (int c = 0; c < 6; ++c) {
+            auto op = static_cast<CmpOp>(rng.below(6));
+            std::int64_t k =
+                static_cast<std::int64_t>(rng.below(41)) - 20;
+            if (iv.constrain(op, k))
+                accepted.emplace_back(op, k);
+        }
+        for (std::int64_t v = -25; v <= 25; ++v) {
+            bool all_ok = true;
+            for (auto &[op, k] : accepted)
+                all_ok = all_ok && evalCmp(v, op, k);
+            if (iv.contains(v)) {
+                // Soundness: accepted values satisfy every exact
+                // constraint.
+                EXPECT_TRUE(all_ok)
+                    << "interval accepts " << v
+                    << " which violates a recorded constraint";
+            } else if (all_ok) {
+                // Precision loss must come only from NE handling,
+                // which shrinks edges: the interval may reject a
+                // satisfying value, and that is acceptable.
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Range(0, 8));

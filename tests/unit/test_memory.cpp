@@ -1,0 +1,193 @@
+/** @file Unit tests for sparse memory, cache tags, and the directory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/sparse_memory.hpp"
+
+using namespace retcon;
+using namespace retcon::mem;
+
+// ---------------------------------------------------------------------
+// SparseMemory
+// ---------------------------------------------------------------------
+
+TEST(SparseMemory, UnwrittenWordsReadZero)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+    EXPECT_EQ(m.read(0x1234, 4), 0u);
+}
+
+TEST(SparseMemory, WordRoundTrip)
+{
+    SparseMemory m;
+    m.writeWord(0x40, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.readWord(0x40), 0xdeadbeefcafef00dull);
+    // Unaligned address resolves to the containing word.
+    EXPECT_EQ(m.readWord(0x44), 0xdeadbeefcafef00dull);
+}
+
+TEST(SparseMemory, SubWordExtraction)
+{
+    SparseMemory m;
+    m.writeWord(0x40, 0x8877665544332211ull);
+    EXPECT_EQ(m.read(0x40, 1), 0x11u);
+    EXPECT_EQ(m.read(0x41, 1), 0x22u);
+    EXPECT_EQ(m.read(0x40, 2), 0x2211u);
+    EXPECT_EQ(m.read(0x44, 4), 0x88776655u);
+}
+
+TEST(SparseMemory, SubWordWritePreservesNeighbours)
+{
+    SparseMemory m;
+    m.writeWord(0x40, 0xffffffffffffffffull);
+    m.write(0x42, 0xab, 1);
+    EXPECT_EQ(m.readWord(0x40), 0xffffffffffabffffull);
+}
+
+TEST(SparseMemory, FootprintCountsDistinctWords)
+{
+    SparseMemory m;
+    m.writeWord(0x40, 1);
+    m.writeWord(0x48, 2);
+    m.writeWord(0x40, 3);
+    EXPECT_EQ(m.footprintWords(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// SetAssocCache
+// ---------------------------------------------------------------------
+
+TEST(SetAssocCache, GeometryMatchesTable1L1)
+{
+    // 64KB, 4-way, 64B blocks -> 256 sets.
+    SetAssocCache c({64 * 1024, 4});
+    EXPECT_EQ(c.numSets(), 256u);
+    EXPECT_EQ(c.ways(), 4u);
+}
+
+TEST(SetAssocCache, InsertThenContains)
+{
+    SetAssocCache c({4 * 1024, 4});
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.insert(0x1000).has_value());
+    EXPECT_TRUE(c.contains(0x1000));
+    EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(SetAssocCache, EvictsLruWhenSetFull)
+{
+    // 1 set, 2 ways: third insert evicts the least recently used.
+    SetAssocCache c({128, 2});
+    ASSERT_EQ(c.numSets(), 1u);
+    c.insert(0x000);
+    c.insert(0x040);
+    c.touch(0x000); // 0x040 is now LRU.
+    auto evicted = c.insert(0x080);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x040u);
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x040));
+}
+
+TEST(SetAssocCache, ReinsertRefreshesRecency)
+{
+    SetAssocCache c({128, 2});
+    c.insert(0x000);
+    c.insert(0x040);
+    c.insert(0x000); // Refresh, no eviction.
+    auto evicted = c.insert(0x080);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x040u);
+}
+
+TEST(SetAssocCache, InvalidateFreesWay)
+{
+    SetAssocCache c({128, 2});
+    c.insert(0x000);
+    EXPECT_TRUE(c.invalidate(0x000));
+    EXPECT_FALSE(c.invalidate(0x000));
+    EXPECT_EQ(c.occupancy(), 0u);
+    c.insert(0x040);
+    EXPECT_FALSE(c.insert(0x080).has_value()); // Room for both.
+}
+
+TEST(SetAssocCache, DifferentSetsDoNotInterfere)
+{
+    SetAssocCache c({256, 2}); // 2 sets.
+    c.insert(0x000);
+    c.insert(0x080); // Different set (bit 6 toggles set 1).
+    c.insert(0x040);
+    c.insert(0x0c0);
+    EXPECT_EQ(c.occupancy(), 4u);
+}
+
+TEST(SetAssocCache, ClearEmptiesEverything)
+{
+    SetAssocCache c({4 * 1024, 4});
+    for (Addr b = 0; b < 16; ++b)
+        c.insert(b * kBlockBytes);
+    c.clear();
+    EXPECT_EQ(c.occupancy(), 0u);
+    EXPECT_FALSE(c.contains(0));
+}
+
+// ---------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------
+
+TEST(Directory, DefaultStateInvalid)
+{
+    Directory d;
+    EXPECT_EQ(d.lookup(0x1000).state, DirState::Invalid);
+    EXPECT_FALSE(d.hasReadPerm(0x1000, 0));
+    EXPECT_FALSE(d.hasWritePerm(0x1000, 0));
+}
+
+TEST(Directory, SharedGrantsReadToSharersOnly)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::Shared;
+    e.sharers = 0b101; // Cores 0 and 2.
+    EXPECT_TRUE(d.hasReadPerm(0x1000, 0));
+    EXPECT_FALSE(d.hasReadPerm(0x1000, 1));
+    EXPECT_TRUE(d.hasReadPerm(0x1000, 2));
+    EXPECT_FALSE(d.hasWritePerm(0x1000, 0));
+}
+
+TEST(Directory, ModifiedGrantsBothToOwner)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::Modified;
+    e.owner = 3;
+    EXPECT_TRUE(d.hasReadPerm(0x1000, 3));
+    EXPECT_TRUE(d.hasWritePerm(0x1000, 3));
+    EXPECT_FALSE(d.hasReadPerm(0x1000, 1));
+}
+
+TEST(Directory, DropCoreRemovesSharer)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::Shared;
+    e.sharers = 0b11;
+    d.dropCore(0x1000, 0);
+    EXPECT_FALSE(d.hasReadPerm(0x1000, 0));
+    EXPECT_TRUE(d.hasReadPerm(0x1000, 1));
+    d.dropCore(0x1000, 1);
+    EXPECT_EQ(d.lookup(0x1000).state, DirState::Invalid);
+}
+
+TEST(Directory, DropOwnerInvalidates)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::Modified;
+    e.owner = 2;
+    d.dropCore(0x1000, 2);
+    EXPECT_EQ(d.lookup(0x1000).state, DirState::Invalid);
+}
