@@ -1,6 +1,8 @@
 #include "api/runner.hpp"
 
 #include "sim/logging.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 
 namespace retcon::api {
 
@@ -63,6 +65,29 @@ runOnce(const RunConfig &cfg)
     ccfg.maxCycles = cfg.maxCycles;
 
     exec::Cluster cluster(ccfg);
+
+    // Optional provenance/audit instrumentation. The sinks must
+    // outlive the run; the validator reads architectural memory, so it
+    // is built against this cluster instance.
+    trace::MultiSink sink;
+    std::unique_ptr<trace::TraceRecorder> recorder;
+    std::unique_ptr<trace::ReenactmentValidator> validator;
+    if (cfg.trace.enabled) {
+        if (cfg.trace.ringCapacity > 0) {
+            recorder = std::make_unique<trace::TraceRecorder>(
+                cfg.trace.ringCapacity);
+            sink.add(recorder.get());
+        }
+        if (cfg.trace.validate) {
+            validator = std::make_unique<trace::ReenactmentValidator>(
+                [&cluster](Addr a) {
+                    return cluster.memory().readWord(a);
+                });
+            sink.add(validator.get());
+        }
+        cluster.setTraceSink(&sink);
+    }
+
     workload->setup(cluster);
     cluster.start(workload->program());
 
@@ -75,6 +100,22 @@ runOnce(const RunConfig &cfg)
     if (!result.validation.ok) {
         warn("workload %s failed validation: %s", cfg.workload.c_str(),
              result.validation.note.c_str());
+    }
+
+    if (validator) {
+        result.reenact = validator->report();
+        if (!result.reenact.ok()) {
+            warn("workload %s failed reenactment audit: %s",
+                 cfg.workload.c_str(),
+                 result.reenact.summary().c_str());
+        }
+    }
+    if (recorder) {
+        result.traceEvents = recorder->totalEvents();
+        if (!cfg.trace.exportJsonPath.empty())
+            trace::exportJsonFile(*recorder, cfg.trace.exportJsonPath);
+        if (!cfg.trace.exportCsvPath.empty())
+            trace::exportCsvFile(*recorder, cfg.trace.exportCsvPath);
     }
     return result;
 }

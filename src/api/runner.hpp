@@ -20,9 +20,26 @@
 
 #include "exec/cluster.hpp"
 #include "htm/machine.hpp"
+#include "trace/reenact.hpp"
 #include "workloads/workload.hpp"
 
 namespace retcon::api {
+
+/** Opt-in provenance/audit options for a run. */
+struct TraceOptions {
+    /** Master switch; everything below is ignored when false. */
+    bool enabled = false;
+
+    /** Reenact every commit against architectural memory. */
+    bool validate = true;
+
+    /** Retain the newest this-many events for export (0 = no ring). */
+    std::size_t ringCapacity = 1 << 16;
+
+    /** When non-empty, export retained events after the run. */
+    std::string exportJsonPath;
+    std::string exportCsvPath;
+};
 
 /** One experiment run description. */
 struct RunConfig {
@@ -32,6 +49,7 @@ struct RunConfig {
     std::uint64_t seed = 1;
     double scale = 1.0;
     Cycle maxCycles = 2'000'000'000ull;
+    TraceOptions trace{};
 };
 
 /** Everything a run produces. */
@@ -41,6 +59,11 @@ struct RunResult {
     exec::CoreStats coreStats;
     htm::MachineStats machineStats;
     workloads::ValidationResult validation;
+
+    /** Audit results (all-zero unless trace.enabled && validate). */
+    trace::ReenactReport reenact;
+    /** Events seen by the ring recorder (0 unless enabled). */
+    std::uint64_t traceEvents = 0;
 };
 
 /** Baseline HTM of §2: eager + oldest-wins. */

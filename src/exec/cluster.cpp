@@ -18,6 +18,14 @@ Cluster::Cluster(const ClusterConfig &cfg) : _cfg(cfg)
     _tm->setRemoteAbortHandler([this](CoreId victim, htm::AbortCause c) {
         _cores[victim]->onRemoteAbort(c);
     });
+    if (cfg.traceSink)
+        _tm->setTraceSink(cfg.traceSink);
+}
+
+void
+Cluster::setTraceSink(trace::TraceSink *sink)
+{
+    _tm->setTraceSink(sink);
 }
 
 void

@@ -29,6 +29,12 @@ struct ClusterConfig {
     mem::MemTimingConfig timing{};
     mem::CacheConfig caches{};
     Cycle maxCycles = 2'000'000'000ull; ///< Watchdog for runaway runs.
+
+    /**
+     * Optional provenance sink (non-owning; must outlive the cluster).
+     * Null disables tracing entirely — the zero-cost default.
+     */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 /** The assembled simulated machine. */
@@ -56,6 +62,9 @@ class Cluster
 
     /** Sum of per-core stats. */
     CoreStats aggregateStats() const;
+
+    /** Attach/detach a provenance sink after construction. */
+    void setTraceSink(trace::TraceSink *sink);
 
   private:
     ClusterConfig _cfg;

@@ -210,6 +210,12 @@ WorkerCtx::txn(std::function<Task<TxValue>(Tx &)> factory)
     return TxnAwait{_core, std::move(factory), TxValue{}};
 }
 
+void
+WorkerCtx::annotate(Word mark_id)
+{
+    _core->machine().userMark(_core->id(), mark_id);
+}
+
 // ---------------------------------------------------------------------
 // Core
 // ---------------------------------------------------------------------
@@ -508,7 +514,7 @@ Core::cleanupAttempt()
 }
 
 void
-Core::onRemoteAbort(htm::AbortCause cause)
+Core::onRemoteAbort([[maybe_unused]] htm::AbortCause cause)
 {
     sim_assert(_inTxn, "remote abort of core %u without a transaction",
                _id);

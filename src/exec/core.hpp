@@ -215,6 +215,13 @@ class WorkerCtx
     BarrierAwait barrier();
     TxnAwait txn(std::function<Task<TxValue>(Tx &)> factory);
 
+    /**
+     * Drop a workload-level marker into the provenance stream (phase
+     * boundaries, operation ids). No-op when tracing is disabled;
+     * costs no simulated time either way.
+     */
+    void annotate(Word mark_id);
+
     CoreId tid() const { return _tid; }
     unsigned nthreads() const { return _nthreads; }
     Xoshiro &rng() { return _rng; }

@@ -102,6 +102,35 @@ TMMachine::emitTrace(CoreId core, const char *kind, Addr addr, Word value)
         _trace(TraceEvent{_eq.now(), core, kind, addr, value});
 }
 
+void
+TMMachine::audit(CoreId core, trace::EventKind kind, Addr addr, Word a,
+                 Word b, const std::optional<rtc::SymTag> &sym,
+                 rtc::CmpOp cmp, std::uint8_t aux)
+{
+    if (!_sink)
+        return;
+    trace::Record r;
+    r.cycle = _eq.now();
+    r.core = core;
+    r.kind = kind;
+    r.addr = addr;
+    r.a = a;
+    r.b = b;
+    if (sym) {
+        r.sym = *sym;
+        r.hasSym = true;
+    }
+    r.cmp = cmp;
+    r.aux = aux;
+    _sink->onEvent(r);
+}
+
+void
+TMMachine::userMark(CoreId core, Word id)
+{
+    audit(core, trace::EventKind::UserMark, 0, id);
+}
+
 std::uint64_t
 TMMachine::effectiveTs(CoreId core, bool txnal) const
 {
@@ -229,6 +258,8 @@ TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec)
     ++_stats.aborts;
     ++_stats.abortsByCause[static_cast<int>(cause)];
     emitTrace(core, "abort", 0, static_cast<Word>(cause));
+    audit(core, trace::EventKind::Abort, 0, 0, 0, std::nullopt,
+          rtc::CmpOp::EQ, static_cast<std::uint8_t>(cause));
     if (notify_exec && _onRemoteAbort)
         _onRemoteAbort(core, cause);
 }
@@ -323,6 +354,8 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
         AbortCause c = (m == core) ? cause : AbortCause::DatmCascade;
         ++_stats.abortsByCause[static_cast<int>(c)];
         emitTrace(m, "abort", 0, static_cast<Word>(c));
+        audit(m, trace::EventKind::Abort, 0, 0, 0, std::nullopt,
+              rtc::CmpOp::EQ, static_cast<std::uint8_t>(c));
         bool notify = (m != core) || notify_exec;
         if (notify && _onRemoteAbort)
             _onRemoteAbort(m, c);
@@ -334,8 +367,8 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
 // ---------------------------------------------------------------------
 
 void
-TMMachine::onRemoteTake(CoreId victim, Addr block, CoreId by,
-                        bool by_write)
+TMMachine::onRemoteTake(CoreId victim, Addr block,
+                        [[maybe_unused]] CoreId by, bool by_write)
 {
     CoreTxState &st = *_cores[victim];
     if (!st.active())
@@ -345,6 +378,7 @@ TMMachine::onRemoteTake(CoreId victim, Addr block, CoreId by,
             if (!e->lost) {
                 e->lost = true;
                 emitTrace(victim, "steal", block, 0);
+                audit(victim, trace::EventKind::BlockLost, block);
             }
         }
         // Eagerly-protected blocks can only be taken after conflict
@@ -420,9 +454,11 @@ TMMachine::eagerAccess(CoreId core, Addr addr, bool is_write, Word value,
             ++_writeSeq;
         _ms.memory().write(addr, value, size);
         emitTrace(core, "store", addr, value);
+        audit(core, trace::EventKind::Store, addr, value);
     } else {
         out.value = _ms.memory().read(addr, size);
         emitTrace(core, "load", addr, out.value);
+        audit(core, trace::EventKind::Load, addr, out.value);
     }
     return out;
 }
@@ -502,6 +538,7 @@ TMMachine::txBegin(CoreId core, bool is_retry)
     st.status = TxStatus::Active;
     st.txnStartCycle = _eq.now();
     emitTrace(core, "begin", 0, st.timestamp);
+    audit(core, trace::EventKind::TxBegin, 0, st.timestamp);
     return out;
 }
 
@@ -549,6 +586,7 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
         out.latency = res.latency;
         out.value = _ms.memory().read(addr, size);
         emitTrace(core, "load", addr, out.value);
+        audit(core, trace::EventKind::Load, addr, out.value);
         return out;
       }
 
@@ -583,9 +621,15 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
                         unsigned w = wordInBlock(addr);
                         ie->readMask |= 1u << w;
                         ie->eqMask |= 1u << w;
+                        // Frozen words are validated at freeze time,
+                        // not against the initial value at commit.
+                        if (!((ie->frozenMask >> w) & 1))
+                            audit(core, trace::EventKind::Pin, word,
+                                  ie->initWords[w]);
                     }
                 }
                 emitTrace(core, "load", addr, out.value);
+                audit(core, trace::EventKind::Load, addr, out.value);
                 return out;
             }
         }
@@ -607,6 +651,8 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
                 out.sym = rtc::SymTag{word, 0, 8};
             } else if (!frozen) {
                 e->eqMask |= 1u << w;
+                audit(core, trace::EventKind::Pin, word,
+                      e->initWords[w]);
                 // Use-time revalidation: an equality-pinned word whose
                 // architectural value already changed dooms this
                 // transaction — abort now rather than let it chase
@@ -621,6 +667,10 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
                 }
             }
             emitTrace(core, "load", addr, out.value);
+            audit(core,
+                  out.sym ? trace::EventKind::SymLoad
+                          : trace::EventKind::Load,
+                  addr, out.value, 0, out.sym);
             return out;
         }
         if (!st.ivb.full() && _predictor.shouldTrack(block))
@@ -661,6 +711,7 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
         } else {
             emitTrace(core, "load", addr, out.value);
         }
+        audit(core, trace::EventKind::Load, addr, out.value);
         return out;
       }
     }
@@ -700,11 +751,16 @@ TMMachine::symbolicFirstLoad(CoreId core, Addr addr, unsigned size,
     MemOpOutcome out;
     out.latency = res.latency;
     out.value = extractBytes(words[w], byteInWord(addr), size);
-    if (_cfg.mode == TMMode::Retcon && isFullWordAccess(addr, size))
+    if (_cfg.mode == TMMode::Retcon && isFullWordAccess(addr, size)) {
         out.sym = rtc::SymTag{wordAddr(addr), 0, 8};
-    else
+    } else {
         e->eqMask |= 1u << w;
+        audit(core, trace::EventKind::Pin, wordAddr(addr), words[w]);
+    }
     emitTrace(core, "load", addr, out.value);
+    audit(core,
+          out.sym ? trace::EventKind::SymLoad : trace::EventKind::Load,
+          addr, out.value, 0, out.sym);
     return out;
 }
 
@@ -744,10 +800,12 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
         if (rtc::SsbEntry *e = st.ssb.find(word))
             base = e->concrete;
         Word merged = overlayBytes(base, value, byteInWord(addr), size);
-        bool ok = st.ssb.put(word, merged, std::nullopt, 8);
-        sim_assert(ok, "lazy write buffer is unbounded");
+        auto put = st.ssb.put(word, merged, std::nullopt, 8);
+        sim_assert(put != rtc::SymbolicStoreBuffer::Put::Full,
+                   "lazy write buffer is unbounded");
         st.writeSet.insert(block);
         emitTrace(core, "store", addr, value);
+        audit(core, trace::EventKind::SymStore, word, merged);
         return MemOpOutcome{OpStatus::Ok, 1, 0, std::nullopt};
       }
 
@@ -757,10 +815,17 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
       case TMMode::Retcon: {
         bool aligned = isFullWordAccess(addr, size);
         if (sym && aligned) {
-            if (st.ssb.put(word, value, sym, 8)) {
+            auto put = st.ssb.put(word, value, sym, 8);
+            if (put != rtc::SymbolicStoreBuffer::Put::Full) {
                 if (rtc::IvbEntry *e = st.ivb.find(block))
                     e->written = true;
                 emitTrace(core, "store", addr, value);
+                // aux=1 marks an overwrite of an earlier symbolic
+                // store to the same word (last writer wins at drain).
+                audit(core, trace::EventKind::SymStore, word, value, 0,
+                      sym, rtc::CmpOp::EQ,
+                      put == rtc::SymbolicStoreBuffer::Put::Updated ? 1
+                                                                    : 0);
                 return MemOpOutcome{OpStatus::Ok, 1, 0, std::nullopt};
             }
             // SSB full: pin the input and store eagerly (sound, not
@@ -818,6 +883,7 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
         st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
         _ms.memory().write(addr, value, size);
         emitTrace(core, "store", addr, value);
+        audit(core, trace::EventKind::Store, addr, value);
         return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
       }
     }
@@ -874,6 +940,7 @@ TMMachine::retconEagerStore(CoreId core, Addr addr, Word value,
             }
             e->curWords[w] = pre;
             e->frozenMask |= 1u << w;
+            audit(core, trace::EventKind::Freeze, word, pre);
         }
     }
 
@@ -881,6 +948,7 @@ TMMachine::retconEagerStore(CoreId core, Addr addr, Word value,
     st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
     _ms.memory().write(addr, value, size);
     emitTrace(core, "store", addr, value);
+    audit(core, trace::EventKind::Store, addr, value);
     return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
 }
 
@@ -901,13 +969,18 @@ TMMachine::recordBranchConstraint(CoreId core, const rtc::SymTag &sym,
     auto r = st.constraints.record(sym.root, eff, k);
     switch (r) {
       case rtc::ConstraintBuffer::Record::Ok:
+        audit(core, trace::EventKind::Constraint, sym.root,
+              static_cast<Word>(k), 0, std::nullopt, eff);
         break;
       case rtc::ConstraintBuffer::Record::Full:
       case rtc::ConstraintBuffer::Record::Inexact:
         pinEquality(core, sym.root);
         break;
       case rtc::ConstraintBuffer::Record::Unsat:
-        panic("constraint set excludes the executed value");
+        panic("constraint record %s: the recorded set excludes the "
+              "executed value (root 0x%llx)",
+              rtc::ConstraintBuffer::recordName(r),
+              static_cast<unsigned long long>(sym.root));
     }
 }
 
@@ -923,6 +996,7 @@ TMMachine::pinEquality(CoreId core, Addr root)
         return; // Input already fixed and validated.
     e->eqMask |= 1u << w;
     e->readMask |= 1u << w;
+    audit(core, trace::EventKind::Pin, root, e->initWords[w]);
     // Use-time revalidation (zombie containment). This runs between
     // instructions where aborting is unsafe; flag the violation and
     // let the next machine operation convert it into an abort.
@@ -979,6 +1053,7 @@ TMMachine::commitStep(CoreId core, bool is_retry)
     if (st.status == TxStatus::Active) {
         st.status = TxStatus::Committing;
         st.commitPhase = 0;
+        audit(core, trace::EventKind::CommitStart);
     }
 
     CommitStepOutcome out;
@@ -1034,6 +1109,10 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
     if (st.commitPhase == 1) {
         if (st.commitIvbIdx >= st.ivb.entries().size()) {
             st.commitPhase = 2;
+            // Every tracked block is now reacquired and protected by
+            // the conflict sets: the roots' architectural values are
+            // final for the rest of the commit.
+            audit(core, trace::EventKind::CommitDrain);
             return commitStepRetcon(core, is_retry);
         }
         std::size_t count = _cfg.parallelReacquire
@@ -1149,10 +1228,13 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
                 root_entry->curWords[wordInBlock(e.sym->root)];
             value = rtc::evalSym(*e.sym, root_val);
         }
-        st.undo.record(e.word, _ms.memory().readWord(e.word),
-                       _writeSeq++);
+        value ^= _cfg.faultInjectRepairXor;
+        Word before = _ms.memory().readWord(e.word);
+        st.undo.record(e.word, before, _writeSeq++);
         _ms.memory().write(e.word, value, e.size);
         emitTrace(core, "repair-store", e.word, value);
+        audit(core, trace::EventKind::Repair, e.word, before, value,
+              e.sym);
         ++st.commitSsbIdx;
         out.latency = _cfg.freeCommitStores ? 0 : lat;
         st.commitCycles += out.latency;
@@ -1163,7 +1245,7 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
 }
 
 CommitStepOutcome
-TMMachine::commitStepLazy(CoreId core, bool is_retry)
+TMMachine::commitStepLazy(CoreId core, [[maybe_unused]] bool is_retry)
 {
     CoreTxState &st = *_cores[core];
     CommitStepOutcome out;
@@ -1178,6 +1260,7 @@ TMMachine::commitStepLazy(CoreId core, bool is_retry)
         _lazyCommitToken = core;
         st.commitPhase = 2;
         st.commitSsbIdx = 0;
+        audit(core, trace::EventKind::CommitDrain);
         out.latency = _cfg.commitTokenLatency;
         st.commitCycles += out.latency;
         return out;
@@ -1204,7 +1287,10 @@ TMMachine::commitStepLazy(CoreId core, bool is_retry)
                 doAbort(c, AbortCause::LazyCommitter, true);
         }
         mem::AccessResult res = _ms.access(core, block, true);
-        _ms.memory().writeWord(e.word, e.concrete);
+        Word value = e.concrete ^ _cfg.faultInjectRepairXor;
+        Word before = _ms.memory().readWord(e.word);
+        _ms.memory().writeWord(e.word, value);
+        audit(core, trace::EventKind::Repair, e.word, before, value);
         ++st.commitSsbIdx;
         out.latency = res.latency;
         st.commitCycles += out.latency;
@@ -1239,6 +1325,7 @@ TMMachine::finalizeCommit(CoreId core)
     st.hasTimestamp = false;
     ++_stats.commits;
     emitTrace(core, "commit", 0, 0);
+    audit(core, trace::EventKind::Commit);
 
     CommitStepOutcome out;
     out.done = true;

@@ -35,6 +35,7 @@
 #include "retcon/predictor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
+#include "trace/sink.hpp"
 
 namespace retcon::htm {
 
@@ -86,6 +87,18 @@ class TMMachine : public mem::CoherenceListener
 
     void setRemoteAbortHandler(RemoteAbortFn fn) { _onRemoteAbort = fn; }
     void setTraceHook(TraceFn fn) { _trace = fn; }
+
+    /**
+     * Attach a provenance sink (trace/). Null detaches. With no sink
+     * attached every instrumentation point is a single pointer check;
+     * simulated timing is identical either way (audit events carry no
+     * latency).
+     */
+    void setTraceSink(trace::TraceSink *sink) { _sink = sink; }
+    trace::TraceSink *traceSink() const { return _sink; }
+
+    /** Emit a workload-level annotation into the provenance stream. */
+    void userMark(CoreId core, Word id);
 
     // ---- Non-transactional accesses -------------------------------
     MemOpOutcome plainLoad(CoreId core, Addr addr, unsigned size = 8);
@@ -170,6 +183,7 @@ class TMMachine : public mem::CoherenceListener
     std::vector<std::unique_ptr<CoreTxState>> _cores;
     RemoteAbortFn _onRemoteAbort;
     TraceFn _trace;
+    trace::TraceSink *_sink = nullptr;
     MachineStats _stats;
 
     std::uint64_t _nextTimestamp = 1;
@@ -243,6 +257,12 @@ class TMMachine : public mem::CoherenceListener
 
     void sampleTxnStats(CoreId core);
     void emitTrace(CoreId core, const char *kind, Addr addr, Word value);
+
+    /** Provenance emission (no-op without a sink). */
+    void audit(CoreId core, trace::EventKind kind, Addr addr = 0,
+               Word a = 0, Word b = 0,
+               const std::optional<rtc::SymTag> &sym = std::nullopt,
+               rtc::CmpOp cmp = rtc::CmpOp::EQ, std::uint8_t aux = 0);
 
     friend class MachineTestPeer;
 };

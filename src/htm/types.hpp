@@ -110,6 +110,14 @@ struct TMConfig {
      * per-attempt memory-operation bound is the backstop.
      */
     std::uint64_t zombieOpLimit = 100000;
+
+    /**
+     * Test-only fault injection: XORed into every commit-time repaired
+     * store value before it is written. Nonzero values deliberately
+     * corrupt repairs so the trace/reenact audit oracle can be shown
+     * to catch them; must be 0 in real runs.
+     */
+    Word faultInjectRepairXor = 0;
 };
 
 /** Observable machine events (used by the Figure 2 timeline bench). */

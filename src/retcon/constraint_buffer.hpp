@@ -39,6 +39,19 @@ class ConstraintBuffer
         Inexact,     ///< Interior NE: caller must set an equality bit.
     };
 
+    /** Stable name for diagnostics and trace output. */
+    static const char *
+    recordName(Record r)
+    {
+        switch (r) {
+          case Record::Ok: return "ok";
+          case Record::Full: return "full";
+          case Record::Unsat: return "unsat";
+          case Record::Inexact: return "inexact";
+        }
+        return "?";
+    }
+
     /**
      * Record `([root] OP k)` where k has already been normalized to the
      * root (i.e., the symbolic delta has been subtracted out).

@@ -61,12 +61,16 @@ class SymbolicStoreBuffer
 
     bool full() const { return _entries.size() >= _capacity; }
 
-    /**
-     * Insert or overwrite the entry for @p word.
-     * @return false when a new entry is needed but the buffer is full
-     * (caller falls back to an eager store + equality constraint).
-     */
-    bool
+    /** Outcome of a put(), distinguished for provenance tracing. */
+    enum class Put : std::uint8_t {
+        Inserted, ///< New entry allocated.
+        Updated,  ///< Existing entry for the word overwritten.
+        Full,     ///< No room: caller falls back to an eager store +
+                  ///< equality constraint.
+    };
+
+    /** Insert or overwrite the entry for @p word. */
+    Put
     put(Addr word, Word concrete, std::optional<SymTag> sym,
         std::uint8_t size)
     {
@@ -74,12 +78,12 @@ class SymbolicStoreBuffer
             e->concrete = concrete;
             e->sym = sym;
             e->size = size;
-            return true;
+            return Put::Updated;
         }
         if (full())
-            return false;
+            return Put::Full;
         _entries.push_back(SsbEntry{word, concrete, sym, size});
-        return true;
+        return Put::Inserted;
     }
 
     /** Drop the entry for @p word (overwritten by a normal store). */

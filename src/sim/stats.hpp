@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,7 +35,8 @@ class AvgMax
     /** Mean of all samples, or 0 when empty. */
     double avg() const { return _count ? _sum / _count : 0.0; }
 
-    /** Largest sample seen, or 0 when empty. */
+    /** Largest sample seen (correct for negative streams), or 0 when
+     *  empty. */
     double max() const { return _count ? _max : 0.0; }
 
     /** Number of samples. */
@@ -58,39 +60,63 @@ class AvgMax
     {
         _sum = 0;
         _count = 0;
-        _max = 0;
+        _max = kNoMax;
     }
 
   private:
+    /// Bootstrapping from -inf (not 0) keeps max() exact when every
+    /// sample is negative; merging an empty tracker is then a no-op.
+    static constexpr double kNoMax =
+        -std::numeric_limits<double>::infinity();
+
     double _sum = 0;
     std::uint64_t _count = 0;
-    double _max = 0;
+    double _max = kNoMax;
 };
 
-/** Fixed-bucket histogram over non-negative integer samples. */
+/** Fixed-bucket histogram over integer samples. */
 class Histogram
 {
   public:
     /** @param num_buckets direct buckets [0, num_buckets); larger
-     *  samples land in the overflow bucket. */
+     *  samples land in the overflow bucket, negative samples in the
+     *  underflow bucket. */
     explicit Histogram(std::size_t num_buckets = 32)
         : _buckets(num_buckets, 0)
     {}
 
     void
-    sample(std::uint64_t v)
+    sample(std::int64_t v)
     {
         ++_total;
-        if (v < _buckets.size())
-            ++_buckets[v];
+        if (v < 0)
+            ++_underflow;
+        else if (static_cast<std::uint64_t>(v) < _buckets.size())
+            ++_buckets[static_cast<std::size_t>(v)];
         else
             ++_overflow;
     }
 
     std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
     std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t underflow() const { return _underflow; }
     std::uint64_t total() const { return _total; }
     std::size_t size() const { return _buckets.size(); }
+
+    /** Merge another histogram (buckets align by index; a smaller
+     *  bucket array is extended to the larger one). */
+    void
+    merge(const Histogram &o)
+    {
+        if (o._buckets.size() != _buckets.size())
+            _buckets.resize(
+                std::max(_buckets.size(), o._buckets.size()), 0);
+        for (std::size_t i = 0; i < o._buckets.size(); ++i)
+            _buckets[i] += o._buckets[i];
+        _underflow += o._underflow;
+        _overflow += o._overflow;
+        _total += o._total;
+    }
 
     /** Smallest v such that at least frac of samples are <= v. */
     std::uint64_t
@@ -98,7 +124,7 @@ class Histogram
     {
         std::uint64_t need =
             static_cast<std::uint64_t>(frac * static_cast<double>(_total));
-        std::uint64_t seen = 0;
+        std::uint64_t seen = _underflow; // Negatives precede bucket 0.
         for (std::size_t i = 0; i < _buckets.size(); ++i) {
             seen += _buckets[i];
             if (seen >= need)
@@ -109,6 +135,7 @@ class Histogram
 
   private:
     std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     std::uint64_t _total = 0;
 };

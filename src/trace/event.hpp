@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Provenance event vocabulary for the trace/audit subsystem.
+ *
+ * Every record describes one observable step of a transaction's
+ * lifecycle on the shared TM machine, at the granularity the RETCON
+ * repair rules operate on (words for values, blocks for tracking).
+ * Together the records of one attempt form a symbolic log that is
+ * sufficient to *reenact* the transaction's commit: re-evaluate every
+ * symbolic store and recorded constraint against the architectural
+ * memory and check that the machine's repaired commit wrote exactly
+ * the values the log implies (see trace/reenact.hpp).
+ */
+
+#ifndef RETCON_TRACE_EVENT_HPP
+#define RETCON_TRACE_EVENT_HPP
+
+#include <cstdint>
+
+#include "htm/types.hpp"
+#include "retcon/interval.hpp"
+#include "retcon/symbolic.hpp"
+#include "sim/types.hpp"
+
+namespace retcon::trace {
+
+/** What happened. One enumerator per instrumentation point. */
+enum class EventKind : std::uint8_t {
+    TxBegin,     ///< Transaction (re)started; a = timestamp.
+    Load,        ///< Concrete load; addr = byte address, a = value.
+    SymLoad,     ///< Symbolic load; addr, a = value, sym = root+delta.
+    Store,       ///< Eager (non-symbolic) store; addr, a = value.
+    SymStore,    ///< SSB insert/update; addr = word, a = concrete, sym.
+    Freeze,      ///< Tracked word input fixed by a local eager store;
+                 ///< addr = word, a = validated pre-store value.
+    Pin,         ///< Degrade to value validation (§4.2 equality pin);
+                 ///< addr = root word, a = required initial value.
+    Constraint,  ///< Interval constraint recorded; addr = root word,
+                 ///< a = rhs (as signed), cmp = operator.
+    BlockLost,   ///< Tracked block stolen mid-transaction; addr = block.
+    CommitStart, ///< Commit process entered (token acquired).
+    CommitDrain, ///< Pre-commit walk done, all tracked blocks
+                 ///< reacquired and protected; the SSB drain begins.
+    Repair,      ///< Commit-time repaired store; addr = word,
+                 ///< a = memory value before, b = value written, sym =
+                 ///< the symbolic value that produced b (hasSym).
+    Commit,      ///< Transaction committed.
+    Abort,       ///< Transaction aborted; aux = htm::AbortCause.
+    UserMark,    ///< Workload annotation via WorkerCtx; a = mark id.
+};
+
+/** Short stable name (used by the exporters and reports). */
+const char *eventKindName(EventKind k);
+
+/** One fixed-size trace record (POD; cheap to buffer in bulk). */
+struct Record {
+    Cycle cycle = 0;
+    CoreId core = 0;
+    EventKind kind = EventKind::TxBegin;
+    Addr addr = 0;           ///< Word/block/byte address (see kind).
+    Word a = 0;              ///< Primary value.
+    Word b = 0;              ///< Secondary value (Repair: written).
+    rtc::SymTag sym{};       ///< Symbolic tag, when hasSym.
+    bool hasSym = false;
+    rtc::CmpOp cmp = rtc::CmpOp::EQ; ///< Constraint operator.
+    std::uint8_t aux = 0;    ///< AbortCause, or free per-kind flag.
+};
+
+} // namespace retcon::trace
+
+#endif // RETCON_TRACE_EVENT_HPP

@@ -1,0 +1,91 @@
+#include "trace/export.hpp"
+
+#include <fstream>
+
+#include "sim/logging.hpp"
+
+namespace retcon::trace {
+
+namespace {
+
+const char *
+cmpOpName(rtc::CmpOp op)
+{
+    switch (op) {
+      case rtc::CmpOp::LT: return "<";
+      case rtc::CmpOp::LE: return "<=";
+      case rtc::CmpOp::EQ: return "==";
+      case rtc::CmpOp::NE: return "!=";
+      case rtc::CmpOp::GE: return ">=";
+      case rtc::CmpOp::GT: return ">";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::size_t
+exportJson(const TraceRecorder &rec, std::ostream &os)
+{
+    std::size_t n = 0;
+    rec.forEach([&](const Record &r) {
+        os << "{\"cycle\":" << r.cycle << ",\"core\":" << r.core
+           << ",\"kind\":\"" << eventKindName(r.kind) << "\""
+           << ",\"addr\":" << r.addr << ",\"a\":" << r.a
+           << ",\"b\":" << r.b;
+        if (r.hasSym) {
+            os << ",\"sym\":{\"root\":" << r.sym.root
+               << ",\"delta\":" << r.sym.delta << "}";
+        }
+        if (r.kind == EventKind::Constraint)
+            os << ",\"cmp\":\"" << cmpOpName(r.cmp) << "\"";
+        if (r.kind == EventKind::Abort)
+            os << ",\"cause\":\""
+               << htm::abortCauseName(
+                      static_cast<htm::AbortCause>(r.aux))
+               << "\"";
+        os << "}\n";
+        ++n;
+    });
+    return n;
+}
+
+std::size_t
+exportCsv(const TraceRecorder &rec, std::ostream &os)
+{
+    os << "cycle,core,kind,addr,a,b,sym_root,sym_delta,cmp,aux\n";
+    std::size_t n = 0;
+    rec.forEach([&](const Record &r) {
+        os << r.cycle << ',' << r.core << ','
+           << eventKindName(r.kind) << ',' << r.addr << ',' << r.a
+           << ',' << r.b << ',';
+        if (r.hasSym)
+            os << r.sym.root << ',' << r.sym.delta;
+        else
+            os << ',';
+        os << ',' << cmpOpName(r.cmp) << ','
+           << static_cast<unsigned>(r.aux) << '\n';
+        ++n;
+    });
+    return n;
+}
+
+std::size_t
+exportJsonFile(const TraceRecorder &rec, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace export file %s", path.c_str());
+    return exportJson(rec, os);
+}
+
+std::size_t
+exportCsvFile(const TraceRecorder &rec, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace export file %s", path.c_str());
+    return exportCsv(rec, os);
+}
+
+} // namespace retcon::trace

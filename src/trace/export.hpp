@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Offline trace export: serialize a TraceRecorder's retained events as
+ * JSON Lines or CSV for analysis outside the simulator (timeline
+ * reconstruction, per-address conflict studies, repair audits).
+ *
+ * JSON Lines (one object per line) is chosen over a single array so
+ * multi-gigabyte traces stream through line-oriented tools; the CSV
+ * schema is flat with one column per Record field.
+ */
+
+#ifndef RETCON_TRACE_EXPORT_HPP
+#define RETCON_TRACE_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace retcon::trace {
+
+/** Stream retained records as JSON Lines. @return records written. */
+std::size_t exportJson(const TraceRecorder &rec, std::ostream &os);
+
+/** Stream retained records as CSV (with header). @return records. */
+std::size_t exportCsv(const TraceRecorder &rec, std::ostream &os);
+
+/** Write to a file; fatal()s when the file cannot be opened. */
+std::size_t exportJsonFile(const TraceRecorder &rec,
+                           const std::string &path);
+std::size_t exportCsvFile(const TraceRecorder &rec,
+                          const std::string &path);
+
+} // namespace retcon::trace
+
+#endif // RETCON_TRACE_EXPORT_HPP

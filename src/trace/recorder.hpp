@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TraceRecorder: fixed-capacity ring buffer of provenance records.
+ *
+ * Keeps the most recent `capacity` events; older events are
+ * overwritten and counted as dropped. Storage is allocated once up
+ * front, so steady-state recording performs no allocation — suitable
+ * for always-on flight-recorder use on long runs, with the full
+ * buffer exportable after the fact (trace/export.hpp).
+ */
+
+#ifndef RETCON_TRACE_RECORDER_HPP
+#define RETCON_TRACE_RECORDER_HPP
+
+#include <functional>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace retcon::trace {
+
+/** Ring-buffer sink retaining the newest `capacity` records. */
+class TraceRecorder final : public TraceSink
+{
+  public:
+    explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+    void onEvent(const Record &r) override;
+
+    /** Records currently retained (<= capacity). */
+    std::size_t size() const { return _size; }
+
+    /** Total events ever seen (retained + dropped). */
+    std::uint64_t totalEvents() const { return _total; }
+
+    /** Events overwritten by wraparound. */
+    std::uint64_t dropped() const { return _total - _size; }
+
+    std::size_t capacity() const { return _buf.size(); }
+
+    /** Visit retained records oldest-first. */
+    void forEach(const std::function<void(const Record &)> &fn) const;
+
+    /** Copy retained records oldest-first. */
+    std::vector<Record> snapshot() const;
+
+    /** Drop everything (capacity is kept). */
+    void clear();
+
+  private:
+    std::vector<Record> _buf;
+    std::size_t _head = 0; ///< Next write position.
+    std::size_t _size = 0;
+    std::uint64_t _total = 0;
+};
+
+} // namespace retcon::trace
+
+#endif // RETCON_TRACE_RECORDER_HPP

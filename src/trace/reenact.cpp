@@ -1,0 +1,251 @@
+#include "trace/reenact.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hpp"
+
+namespace retcon::trace {
+
+namespace {
+
+const char *
+mismatchName(Mismatch::What w)
+{
+    switch (w) {
+      case Mismatch::What::RepairValue: return "repair-value";
+      case Mismatch::What::Constraint: return "constraint";
+      case Mismatch::What::PinValue: return "pin-value";
+      case Mismatch::What::UndrainedStore: return "undrained-store";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Mismatch::describe() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s core=%u cycle=%" PRIu64 " word=0x%" PRIx64
+                  " expected=%" PRIu64 " got=%" PRIu64,
+                  mismatchName(what), core, cycle, word, expected, got);
+    return buf;
+}
+
+std::string
+ReenactReport::summary() const
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "reenact: %" PRIu64 " commits, %" PRIu64 " repairs, %"
+                  PRIu64 " constraints, %" PRIu64 " pins checked; %"
+                  PRIu64 " mismatches",
+                  commitsChecked, repairsChecked, constraintsChecked,
+                  pinsChecked, mismatches);
+    return buf;
+}
+
+ReenactmentValidator::ReenactmentValidator(ReadWordFn read_word,
+                                           std::size_t max_samples)
+    : _readWord(std::move(read_word)), _maxSamples(max_samples)
+{
+    sim_assert(_readWord, "reenactment validator needs a memory reader");
+}
+
+ReenactmentValidator::TxLog &
+ReenactmentValidator::log(CoreId core)
+{
+    if (core >= _logs.size())
+        _logs.resize(core + 1);
+    return _logs[core];
+}
+
+void
+ReenactmentValidator::reset()
+{
+    _logs.clear();
+    _report = ReenactReport{};
+}
+
+void
+ReenactmentValidator::flag(Mismatch m)
+{
+    ++_report.mismatches;
+    if (_report.samples.size() < _maxSamples)
+        _report.samples.push_back(m);
+    warn("reenactment mismatch: %s", m.describe().c_str());
+}
+
+void
+ReenactmentValidator::snapshotRoots(TxLog &t)
+{
+    // The machine emits CommitDrain only after every tracked block has
+    // been reacquired and inserted into the committing transaction's
+    // conflict sets, so the words read here are coherence-protected
+    // until the commit completes: this snapshot IS the set of final
+    // input values a full replay would observe.
+    auto snap = [&](Addr root) {
+        if (t.roots.count(root))
+            return;
+        auto f = t.frozen.find(root);
+        t.roots[root] = f != t.frozen.end() ? f->second
+                                            : _readWord(root);
+    };
+    for (const auto &[word, e] : t.stores)
+        if (e.symbolic)
+            snap(e.sym.root);
+    for (const auto &c : t.constraints)
+        snap(c.root);
+    for (const auto &p : t.pins)
+        snap(p.root);
+}
+
+Word
+ReenactmentValidator::rootValue(const TxLog &t, Addr root) const
+{
+    auto it = t.roots.find(root);
+    sim_assert(it != t.roots.end(),
+               "reenactment root 0x%llx not snapshotted",
+               static_cast<unsigned long long>(root));
+    return it->second;
+}
+
+void
+ReenactmentValidator::checkRepair(TxLog &t, const Record &r)
+{
+    ++_report.repairsChecked;
+    auto it = t.stores.find(r.addr);
+    if (it == t.stores.end()) {
+        // The machine drained a store our log never saw: count it as a
+        // repair-value mismatch against "no such store".
+        flag(Mismatch{Mismatch::What::RepairValue, r.cycle, r.core,
+                      r.addr, 0, r.b});
+        return;
+    }
+    StoreEnt &e = it->second;
+    e.repaired = true;
+    Word expected = e.symbolic
+                        ? rtc::evalSym(e.sym, rootValue(t, e.sym.root))
+                        : e.concrete;
+    if (expected != r.b) {
+        flag(Mismatch{Mismatch::What::RepairValue, r.cycle, r.core,
+                      r.addr, expected, r.b});
+    }
+}
+
+void
+ReenactmentValidator::finishCommit(TxLog &t, const Record &r)
+{
+    ++_report.commitsChecked;
+
+    // A commit that never reached the drain phase (eager/serial modes,
+    // or a retcon commit with no tracked state) has an empty log;
+    // everything below is vacuous then.
+    for (const auto &c : t.constraints) {
+        ++_report.constraintsChecked;
+        Word root = t.roots.count(c.root) ? t.roots.at(c.root)
+                                          : _readWord(c.root);
+        if (!rtc::evalCmp(static_cast<std::int64_t>(root), c.op, c.rhs)) {
+            flag(Mismatch{Mismatch::What::Constraint, r.cycle, r.core,
+                          c.root, static_cast<Word>(c.rhs), root});
+        }
+    }
+    for (const auto &p : t.pins) {
+        ++_report.pinsChecked;
+        Word root = t.roots.count(p.root) ? t.roots.at(p.root)
+                                          : _readWord(p.root);
+        if (root != p.initValue) {
+            flag(Mismatch{Mismatch::What::PinValue, r.cycle, r.core,
+                          p.root, p.initValue, root});
+        }
+    }
+    for (const auto &[word, e] : t.stores) {
+        if (!e.repaired) {
+            flag(Mismatch{Mismatch::What::UndrainedStore, r.cycle,
+                          r.core, word,
+                          e.symbolic
+                              ? rtc::evalSym(e.sym,
+                                             rootValue(t, e.sym.root))
+                              : e.concrete,
+                          0});
+        }
+    }
+    t.clear();
+}
+
+void
+ReenactmentValidator::onEvent(const Record &r)
+{
+    TxLog &t = log(r.core);
+    switch (r.kind) {
+      case EventKind::TxBegin:
+        t.clear();
+        t.active = true;
+        break;
+
+      case EventKind::SymStore:
+        if (!t.active)
+            break;
+        // Mirrors SymbolicStoreBuffer::put: last writer wins per word.
+        t.stores[r.addr] =
+            StoreEnt{r.a, r.sym, r.hasSym, false};
+        break;
+
+      case EventKind::Store:
+        // An eager store to a word invalidates any pending symbolic
+        // store for it (Figure 8, time 10). Word granularity.
+        if (t.active)
+            t.stores.erase(r.addr & ~(kWordBytes - 1));
+        break;
+
+      case EventKind::Freeze:
+        if (t.active)
+            t.frozen[r.addr] = r.a;
+        break;
+
+      case EventKind::Pin:
+        if (t.active)
+            t.pins.push_back(PinEnt{r.addr, r.a});
+        break;
+
+      case EventKind::Constraint:
+        if (t.active)
+            t.constraints.push_back(ConstraintEnt{
+                r.addr, r.cmp, static_cast<std::int64_t>(r.a)});
+        break;
+
+      case EventKind::CommitDrain:
+        if (t.active) {
+            t.draining = true;
+            snapshotRoots(t);
+        }
+        break;
+
+      case EventKind::Repair:
+        if (t.active && t.draining)
+            checkRepair(t, r);
+        break;
+
+      case EventKind::Commit:
+        if (t.active)
+            finishCommit(t, r);
+        t.clear();
+        break;
+
+      case EventKind::Abort:
+        ++_report.abortsSeen;
+        t.clear();
+        break;
+
+      case EventKind::Load:
+      case EventKind::SymLoad:
+      case EventKind::BlockLost:
+      case EventKind::CommitStart:
+      case EventKind::UserMark:
+        break; // Informational only.
+    }
+}
+
+} // namespace retcon::trace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ReenactmentValidator: a live equivalence oracle for RETCON commits.
+ *
+ * RETCON's correctness claim (§4) is that a repaired commit is
+ * indistinguishable from re-executing the transaction against the
+ * final committed input values. This sink checks that claim on every
+ * commit, independently of the machine's own repair machinery:
+ *
+ *  - it accumulates each attempt's *symbolic log* from the event
+ *    stream: symbolic stores ([root] + delta per word, mirroring the
+ *    SSB's last-writer-wins semantics), interval constraints, equality
+ *    pins, and input words frozen by local eager stores;
+ *  - when the pre-commit walk completes (CommitDrain — every tracked
+ *    block has been reacquired and is coherence-protected until the
+ *    commit finishes), it snapshots the final value of every
+ *    referenced root directly from architectural memory;
+ *  - it then re-derives each repaired store via rtc::evalSym over the
+ *    snapshot, re-evaluates every constraint and pin, and flags any
+ *    disagreement with what htm::TMMachine actually wrote or accepted.
+ *
+ * The validator shares only `evalSym`/`evalCmp` (the ~10-line symbolic
+ * semantics) with the machine; the IVB/SSB/constraint-buffer walk that
+ * produced the commit is reenacted from scratch, so a bookkeeping bug
+ * in any of those structures shows up as a mismatch rather than
+ * silently corrupting committed state.
+ */
+
+#ifndef RETCON_TRACE_REENACT_HPP
+#define RETCON_TRACE_REENACT_HPP
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace retcon::trace {
+
+/** One detected disagreement between machine and reenactment. */
+struct Mismatch {
+    enum class What : std::uint8_t {
+        RepairValue,   ///< Repaired store != reenacted value.
+        Constraint,    ///< Final root value violates an interval
+                       ///< constraint the machine accepted.
+        PinValue,      ///< Equality-pinned word changed, yet committed.
+        UndrainedStore ///< Symbolic store never drained at commit.
+    };
+    What what = What::RepairValue;
+    Cycle cycle = 0;
+    CoreId core = 0;
+    Addr word = 0;
+    Word expected = 0;
+    Word got = 0;
+
+    std::string describe() const;
+};
+
+/** Aggregate audit results over a run. */
+struct ReenactReport {
+    std::uint64_t commitsChecked = 0;
+    std::uint64_t repairsChecked = 0;
+    std::uint64_t constraintsChecked = 0;
+    std::uint64_t pinsChecked = 0;
+    std::uint64_t abortsSeen = 0;
+    std::uint64_t mismatches = 0;
+    /** First few mismatches, for diagnostics (capped). */
+    std::vector<Mismatch> samples;
+
+    bool ok() const { return mismatches == 0; }
+    std::string summary() const;
+};
+
+/** Sink that reenacts every RETCON/lazy-vb commit as it happens. */
+class ReenactmentValidator final : public TraceSink
+{
+  public:
+    /** Reads one aligned word of architectural memory. */
+    using ReadWordFn = std::function<Word(Addr)>;
+
+    explicit ReenactmentValidator(ReadWordFn read_word,
+                                  std::size_t max_samples = 16);
+
+    void onEvent(const Record &r) override;
+
+    const ReenactReport &report() const { return _report; }
+
+    /** Forget all per-core logs and results. */
+    void reset();
+
+  private:
+    /** One word's pending symbolic/concrete store (SSB mirror). */
+    struct StoreEnt {
+        Word concrete = 0;
+        rtc::SymTag sym{};
+        bool symbolic = false;
+        bool repaired = false;
+    };
+
+    struct ConstraintEnt {
+        Addr root = 0;
+        rtc::CmpOp op = rtc::CmpOp::EQ;
+        std::int64_t rhs = 0;
+    };
+
+    struct PinEnt {
+        Addr root = 0;
+        Word initValue = 0;
+    };
+
+    /** The reenactment log of one core's in-flight attempt. */
+    struct TxLog {
+        bool active = false;
+        bool draining = false;
+        std::unordered_map<Addr, StoreEnt> stores;
+        std::vector<ConstraintEnt> constraints;
+        std::vector<PinEnt> pins;
+        std::unordered_map<Addr, Word> frozen;
+        /** Final root values snapshotted at CommitDrain. */
+        std::unordered_map<Addr, Word> roots;
+
+        void
+        clear()
+        {
+            active = false;
+            draining = false;
+            stores.clear();
+            constraints.clear();
+            pins.clear();
+            frozen.clear();
+            roots.clear();
+        }
+    };
+
+    TxLog &log(CoreId core);
+    void snapshotRoots(TxLog &t);
+    Word rootValue(const TxLog &t, Addr root) const;
+    void checkRepair(TxLog &t, const Record &r);
+    void finishCommit(TxLog &t, const Record &r);
+    void flag(Mismatch m);
+
+    ReadWordFn _readWord;
+    std::size_t _maxSamples;
+    std::vector<TxLog> _logs;
+    ReenactReport _report;
+};
+
+} // namespace retcon::trace
+
+#endif // RETCON_TRACE_REENACT_HPP

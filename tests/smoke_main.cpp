@@ -1,8 +1,12 @@
 // Quick end-to-end smoke driver (not a gtest): N threads increment a
 // shared counter K times each inside transactions, under several modes.
+// Every mode runs with the trace/reenact audit oracle attached: each
+// commit the machine performs must be independently re-derivable from
+// its recorded symbolic log (zero mismatches required).
 #include <cstdio>
 
 #include "exec/cluster.hpp"
+#include "trace/reenact.hpp"
 
 using namespace retcon;
 using namespace retcon::exec;
@@ -37,6 +41,7 @@ threadMain(WorkerCtx &ctx)
 int
 main()
 {
+    std::uint64_t retconRepairs = 0;
     for (htm::TMMode mode :
          {htm::TMMode::Serial, htm::TMMode::Eager, htm::TMMode::Lazy,
           htm::TMMode::LazyVB, htm::TMMode::Retcon, htm::TMMode::DATM}) {
@@ -47,19 +52,36 @@ main()
         Cluster cluster(cfg);
         cluster.machine().predictor().observeConflict(
             blockAddr(kCounter));
+        trace::ReenactmentValidator validator(
+            [&cluster](Addr a) { return cluster.memory().readWord(a); });
+        cluster.setTraceSink(&validator);
         cluster.start([](WorkerCtx &ctx) { return threadMain(ctx); });
         Cycle end = cluster.run();
         Word final = cluster.memory().readWord(kCounter);
         auto agg = cluster.aggregateStats();
+        const auto &audit = validator.report();
         std::printf(
             "%-8s final=%llu (want %d) cycles=%llu commits=%llu "
-            "aborts=%llu\n",
+            "aborts=%llu audit-repairs=%llu audit-mismatch=%llu\n",
             htm::tmModeName(mode), (unsigned long long)final,
             8 * kIters, (unsigned long long)end,
             (unsigned long long)agg.commits,
-            (unsigned long long)agg.aborts);
+            (unsigned long long)agg.aborts,
+            (unsigned long long)audit.repairsChecked,
+            (unsigned long long)audit.mismatches);
         if (final != Word(8 * kIters))
             return 1;
+        if (!audit.ok() || audit.commitsChecked == 0) {
+            std::printf("reenactment audit failed: %s\n",
+                        audit.summary().c_str());
+            return 1;
+        }
+        if (mode == htm::TMMode::Retcon)
+            retconRepairs = audit.repairsChecked;
+    }
+    if (retconRepairs == 0) {
+        std::printf("RETCON run repaired nothing — audit was vacuous\n");
+        return 1;
     }
     std::printf("smoke OK\n");
     return 0;

@@ -1,5 +1,10 @@
 // Development sweep driver: run every workload under the three paper
 // configurations, validate functional state, print speedups.
+//
+// Usage: sweep_main [--quick] [--audit] [scale] [nthreads] [workload]
+//   --quick   reduced-iteration mode for CI (small scale, 4 threads)
+//   --audit   attach the trace/reenact oracle to every run and fail
+//             on any commit the validator cannot re-derive
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,20 +16,51 @@ using namespace retcon;
 int
 main(int argc, char **argv)
 {
-    double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-    unsigned nthreads = argc > 2 ? std::atoi(argv[2]) : 8;
-    const char *only = argc > 3 ? argv[3] : nullptr;
+    bool quick = false;
+    bool audit = false;
+    double scale = 0.25;
+    unsigned nthreads = 8;
+    const char *only = nullptr;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--audit") == 0) {
+            audit = true;
+        } else if (positional == 0) {
+            scale = std::atof(argv[i]);
+            ++positional;
+        } else if (positional == 1) {
+            nthreads = static_cast<unsigned>(std::atoi(argv[i]));
+            ++positional;
+        } else {
+            only = argv[i];
+        }
+    }
+    // --quick sets CI-sized defaults but never overrides explicitly
+    // supplied scale/nthreads.
+    if (quick && positional == 0) {
+        scale = 0.05;
+        nthreads = 4;
+    } else if (quick && positional == 1) {
+        nthreads = 4;
+    }
 
     std::printf("%-18s %10s | %8s %8s %8s | ok\n", "workload",
                 "seq-cyc", "eager", "lazy-vb", "retcon");
     bool all_ok = true;
+    unsigned ran = 0;
     for (const auto &name : workloads::workloadNames()) {
         if (only && name != only)
             continue;
+        ++ran;
         api::RunConfig cfg;
         cfg.workload = name;
         cfg.nthreads = nthreads;
         cfg.scale = scale;
+        cfg.trace.enabled = audit;
+        cfg.trace.ringCapacity = 0; // Audit only; no event retention.
         Cycle seq = api::sequentialCycles(cfg);
         std::printf("%-18s %10llu |", name.c_str(),
                     (unsigned long long)seq);
@@ -38,10 +74,19 @@ main(int argc, char **argv)
                 ok = false;
                 std::printf("(INVALID: %s)", r.validation.note.c_str());
             }
+            if (audit && !r.reenact.ok()) {
+                ok = false;
+                std::printf("(AUDIT: %s)", r.reenact.summary().c_str());
+            }
             std::fflush(stdout);
         }
         std::printf(" | %s\n", ok ? "yes" : "NO");
         all_ok = all_ok && ok;
+    }
+    if (ran == 0) {
+        std::fprintf(stderr, "no workload matched '%s'\n",
+                     only ? only : "");
+        return 1;
     }
     return all_ok ? 0 : 1;
 }

@@ -141,7 +141,8 @@ TEST(ConstraintBuffer, InteriorNeReportsInexact)
 TEST(Ssb, PutFindInvalidate)
 {
     SymbolicStoreBuffer ssb(4);
-    EXPECT_TRUE(ssb.put(0x1000, 42, SymTag{0x2000, 1, 8}, 8));
+    EXPECT_EQ(ssb.put(0x1000, 42, SymTag{0x2000, 1, 8}, 8),
+              SymbolicStoreBuffer::Put::Inserted);
     SsbEntry *e = ssb.find(0x1000);
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->concrete, 42u);
@@ -163,10 +164,13 @@ TEST(Ssb, OverwriteReplacesInPlace)
 TEST(Ssb, FullRejectsNewEntries)
 {
     SymbolicStoreBuffer ssb(1);
-    EXPECT_TRUE(ssb.put(0x1000, 1, std::nullopt, 8));
-    EXPECT_FALSE(ssb.put(0x2000, 2, std::nullopt, 8));
+    EXPECT_EQ(ssb.put(0x1000, 1, std::nullopt, 8),
+              SymbolicStoreBuffer::Put::Inserted);
+    EXPECT_EQ(ssb.put(0x2000, 2, std::nullopt, 8),
+              SymbolicStoreBuffer::Put::Full);
     // Overwrites of existing entries still succeed.
-    EXPECT_TRUE(ssb.put(0x1000, 3, std::nullopt, 8));
+    EXPECT_EQ(ssb.put(0x1000, 3, std::nullopt, 8),
+              SymbolicStoreBuffer::Put::Updated);
 }
 
 TEST(Ssb, DrainOrderIsInsertionOrder)

@@ -37,6 +37,51 @@ TEST(AvgMax, MergeCombinesStreams)
     EXPECT_DOUBLE_EQ(a.max(), 5.0);
 }
 
+TEST(AvgMax, MaxCorrectForAllNegativeSamples)
+{
+    AvgMax a;
+    a.sample(-7);
+    a.sample(-3);
+    a.sample(-12);
+    EXPECT_DOUBLE_EQ(a.max(), -3.0);
+    EXPECT_DOUBLE_EQ(a.avg(), -22.0 / 3.0);
+}
+
+TEST(AvgMax, MergeRoundTripMatchesSingleStream)
+{
+    // Splitting one sample stream across trackers and merging must
+    // reproduce the single-tracker result exactly — including when
+    // every sample is negative and when one side is empty.
+    const double samples[] = {-9, -2.5, -4, -100, -0.5};
+    AvgMax whole, left, right, empty;
+    for (std::size_t i = 0; i < std::size(samples); ++i) {
+        whole.sample(samples[i]);
+        (i % 2 ? left : right).sample(samples[i]);
+    }
+    left.merge(right);
+    left.merge(empty);
+    EXPECT_DOUBLE_EQ(left.avg(), whole.avg());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+
+    // Merging a populated tracker into an empty one is the identity.
+    AvgMax onto;
+    onto.merge(whole);
+    EXPECT_DOUBLE_EQ(onto.max(), whole.max());
+    EXPECT_DOUBLE_EQ(onto.avg(), whole.avg());
+}
+
+TEST(AvgMax, ResetRestoresNegativeCorrectness)
+{
+    AvgMax a;
+    a.sample(5);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    a.sample(-2);
+    EXPECT_DOUBLE_EQ(a.max(), -2.0);
+}
+
 TEST(Histogram, BucketsAndOverflow)
 {
     Histogram h(4);
@@ -59,6 +104,36 @@ TEST(Histogram, Percentile)
         h.sample(v);
     EXPECT_LE(h.percentile(0.5), 5u);
     EXPECT_EQ(h.percentile(1.0), 9u);
+}
+
+TEST(Histogram, NegativeSamplesLandInUnderflow)
+{
+    Histogram h(4);
+    h.sample(-1);
+    h.sample(-100);
+    h.sample(2);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    // Negatives sit below every bucket for percentile purposes.
+    EXPECT_EQ(h.percentile(1.0), 2u);
+}
+
+TEST(Histogram, MergeRoundTripMatchesSingleStream)
+{
+    const std::int64_t samples[] = {-3, 0, 1, 1, 3, 7, 99};
+    Histogram whole(4), left(4), right(4);
+    for (std::size_t i = 0; i < std::size(samples); ++i) {
+        whole.sample(samples[i]);
+        (i % 2 ? left : right).sample(samples[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), whole.total());
+    EXPECT_EQ(left.underflow(), whole.underflow());
+    EXPECT_EQ(left.overflow(), whole.overflow());
+    for (std::size_t i = 0; i < whole.size(); ++i)
+        EXPECT_EQ(left.bucket(i), whole.bucket(i)) << i;
+    EXPECT_EQ(left.percentile(0.5), whole.percentile(0.5));
 }
 
 TEST(StatSet, AddAndGet)

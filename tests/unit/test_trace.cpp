@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the provenance & repair-audit subsystem (src/trace):
+ * ring-buffer wraparound, the disabled-sink fast path (identical
+ * simulated timing with tracing on/off), reenactment agreement on the
+ * contended shared-counter workload in every TM mode, detection of
+ * deliberately corrupted repairs, and the exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/cluster.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+#include "trace/reenact.hpp"
+
+using namespace retcon;
+using namespace retcon::exec;
+
+namespace {
+
+constexpr Addr kCounter = 0x1000;
+constexpr int kIters = 25;
+constexpr unsigned kThreads = 8;
+
+Task<TxValue>
+incrementBody(Tx &tx)
+{
+    TxValue v = co_await tx.load(kCounter);
+    v = tx.add(v, 1);
+    co_await tx.store(kCounter, v);
+    co_return v;
+}
+
+/** Branches on the symbolic counter so constraints get recorded. */
+Task<TxValue>
+boundedIncrementBody(Tx &tx)
+{
+    TxValue v = co_await tx.load(kCounter);
+    if (tx.cmp(v, rtc::CmpOp::LT, 1'000'000))
+        v = tx.add(v, 1);
+    co_await tx.store(kCounter, v);
+    co_return v;
+}
+
+Task<void>
+threadMain(WorkerCtx &ctx, bool bounded)
+{
+    for (int i = 0; i < kIters; ++i) {
+        if (bounded) {
+            co_await ctx.txn(
+                [](Tx &tx) { return boundedIncrementBody(tx); });
+        } else {
+            co_await ctx.txn(
+                [](Tx &tx) { return incrementBody(tx); });
+        }
+        co_await ctx.work(20);
+    }
+    co_await ctx.barrier();
+}
+
+struct RunOutput {
+    Cycle cycles = 0;
+    Word counter = 0;
+    trace::ReenactReport report;
+    std::uint64_t events = 0;
+};
+
+RunOutput
+runCounter(htm::TMMode mode, bool traced, Word fault_xor = 0,
+           bool bounded = false, trace::TraceRecorder *ring = nullptr)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = kThreads;
+    cfg.tm.mode = mode;
+    cfg.tm.faultInjectRepairXor = fault_xor;
+    Cluster cluster(cfg);
+    cluster.machine().predictor().observeConflict(blockAddr(kCounter));
+
+    trace::MultiSink sink;
+    trace::ReenactmentValidator validator(
+        [&cluster](Addr a) { return cluster.memory().readWord(a); });
+    if (traced) {
+        sink.add(&validator);
+        if (ring)
+            sink.add(ring);
+        cluster.setTraceSink(&sink);
+    }
+
+    cluster.start([bounded](WorkerCtx &ctx) {
+        return threadMain(ctx, bounded);
+    });
+    RunOutput out;
+    out.cycles = cluster.run();
+    out.counter = cluster.memory().readWord(kCounter);
+    out.report = validator.report();
+    if (ring)
+        out.events = ring->totalEvents();
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Ring buffer
+// ---------------------------------------------------------------------
+
+TEST(TraceRecorder, RetainsEverythingBelowCapacity)
+{
+    trace::TraceRecorder rec(8);
+    for (Word i = 0; i < 5; ++i)
+        rec.onEvent(trace::Record{i, 0, trace::EventKind::UserMark, 0, i,
+                                  0, {}, false, rtc::CmpOp::EQ, 0});
+    EXPECT_EQ(rec.size(), 5u);
+    EXPECT_EQ(rec.totalEvents(), 5u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    auto snap = rec.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (Word i = 0; i < 5; ++i)
+        EXPECT_EQ(snap[i].a, i);
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestInOrder)
+{
+    trace::TraceRecorder rec(4);
+    for (Word i = 0; i < 11; ++i)
+        rec.onEvent(trace::Record{i, 0, trace::EventKind::UserMark, 0, i,
+                                  0, {}, false, rtc::CmpOp::EQ, 0});
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.totalEvents(), 11u);
+    EXPECT_EQ(rec.dropped(), 7u);
+    auto snap = rec.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // The newest 4 records (7,8,9,10), oldest first.
+    for (Word i = 0; i < 4; ++i)
+        EXPECT_EQ(snap[i].a, 7 + i);
+}
+
+TEST(TraceRecorder, ClearResetsButKeepsCapacity)
+{
+    trace::TraceRecorder rec(4);
+    for (Word i = 0; i < 6; ++i)
+        rec.onEvent(trace::Record{});
+    rec.clear();
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.totalEvents(), 0u);
+    EXPECT_EQ(rec.capacity(), 4u);
+    rec.onEvent(trace::Record{});
+    EXPECT_EQ(rec.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Disabled fast path
+// ---------------------------------------------------------------------
+
+TEST(TraceDisabled, TimingIdenticalWithAndWithoutSink)
+{
+    // Tracing must observe, never perturb: the deterministic simulation
+    // must produce cycle-identical runs with the sink on and off.
+    for (htm::TMMode mode :
+         {htm::TMMode::Eager, htm::TMMode::Retcon, htm::TMMode::Lazy}) {
+        RunOutput off = runCounter(mode, false);
+        RunOutput on = runCounter(mode, true);
+        EXPECT_EQ(off.cycles, on.cycles) << htm::tmModeName(mode);
+        EXPECT_EQ(off.counter, on.counter) << htm::tmModeName(mode);
+    }
+}
+
+TEST(TraceDisabled, NoSinkReportsNothing)
+{
+    RunOutput off = runCounter(htm::TMMode::Retcon, false);
+    EXPECT_EQ(off.counter, Word(kThreads * kIters));
+    EXPECT_EQ(off.report.commitsChecked, 0u);
+    EXPECT_EQ(off.report.repairsChecked, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Reenactment agreement
+// ---------------------------------------------------------------------
+
+TEST(Reenactment, SharedCounterAgreesInEveryMode)
+{
+    for (htm::TMMode mode :
+         {htm::TMMode::Serial, htm::TMMode::Eager, htm::TMMode::Lazy,
+          htm::TMMode::LazyVB, htm::TMMode::Retcon, htm::TMMode::DATM}) {
+        RunOutput out = runCounter(mode, true);
+        EXPECT_EQ(out.counter, Word(kThreads * kIters))
+            << htm::tmModeName(mode);
+        EXPECT_EQ(out.report.mismatches, 0u) << htm::tmModeName(mode);
+        EXPECT_EQ(out.report.commitsChecked,
+                  std::uint64_t(kThreads * kIters))
+            << htm::tmModeName(mode);
+    }
+}
+
+TEST(Reenactment, RetconRepairsAreChecked)
+{
+    RunOutput out = runCounter(htm::TMMode::Retcon, true);
+    // Contended symbolic counter: commits must actually repair.
+    EXPECT_GT(out.report.repairsChecked, 0u);
+    EXPECT_EQ(out.report.mismatches, 0u);
+}
+
+TEST(Reenactment, LazyVbPinsAreChecked)
+{
+    // lazy-vb degrades every tracked word to value validation: the
+    // audit must re-verify those equality pins at commit.
+    RunOutput out = runCounter(htm::TMMode::LazyVB, true);
+    EXPECT_GT(out.report.pinsChecked, 0u);
+    EXPECT_EQ(out.report.mismatches, 0u);
+}
+
+TEST(Reenactment, BranchConstraintsAreReplayed)
+{
+    RunOutput out =
+        runCounter(htm::TMMode::Retcon, true, 0, /*bounded=*/true);
+    EXPECT_EQ(out.counter, Word(kThreads * kIters));
+    EXPECT_GT(out.report.constraintsChecked, 0u);
+    EXPECT_EQ(out.report.mismatches, 0u);
+}
+
+TEST(Reenactment, CorruptedRepairIsFlagged)
+{
+    // Fault-inject a bit flip into every repaired commit store: the
+    // machine happily commits, so only the reenactment oracle stands
+    // between the bug and silently corrupted committed state.
+    RunOutput out = runCounter(htm::TMMode::Retcon, true, /*xor=*/0x10);
+    EXPECT_GT(out.report.repairsChecked, 0u);
+    EXPECT_GT(out.report.mismatches, 0u);
+    ASSERT_FALSE(out.report.samples.empty());
+    EXPECT_EQ(out.report.samples[0].what,
+              trace::Mismatch::What::RepairValue);
+    // expected ^ got must show exactly the injected fault.
+    EXPECT_EQ(out.report.samples[0].expected ^ out.report.samples[0].got,
+              Word(0x10));
+}
+
+TEST(Reenactment, CorruptedLazyDrainIsFlagged)
+{
+    // The lazy write-buffer drain is also a commit-time repair path;
+    // fault injection must be observable by the oracle there too.
+    RunOutput out = runCounter(htm::TMMode::Lazy, true, /*xor=*/0x4);
+    EXPECT_GT(out.report.repairsChecked, 0u);
+    EXPECT_GT(out.report.mismatches, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------
+
+TEST(TraceExport, JsonAndCsvCoverAllRetainedRecords)
+{
+    trace::TraceRecorder ring(1 << 12);
+    RunOutput out =
+        runCounter(htm::TMMode::Retcon, true, 0, false, &ring);
+    ASSERT_GT(out.events, 0u);
+
+    std::ostringstream json;
+    std::size_t njson = trace::exportJson(ring, json);
+    EXPECT_EQ(njson, ring.size());
+    // One JSON object per line.
+    std::size_t lines = 0;
+    for (char c : json.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, njson);
+    EXPECT_NE(json.str().find("\"kind\":\"repair\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"sym\":{\"root\":"), std::string::npos);
+
+    std::ostringstream csv;
+    std::size_t ncsv = trace::exportCsv(ring, csv);
+    EXPECT_EQ(ncsv, ring.size());
+    EXPECT_EQ(csv.str().rfind("cycle,core,kind,", 0), 0u);
+}
