@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Service-workload scalability across event-queue shards.
+ *
+ * Not a paper figure: this is the ROADMAP's "millions of users"
+ * scenario. The service workload (Zipfian queue + hashtable request
+ * mix) runs under RETCON while the cluster's event-queue dispatch is
+ * bandwidth-limited — the sequencer serialization a single-queue
+ * cluster suffers. Sharding the queue multiplies dispatch slots and
+ * lets idle shards steal from busy ones, so makespan drops and
+ * throughput rises as shards are added; per-shard rows break the
+ * totals down (commit throughput, repair rate, queue load, steals).
+ *
+ * A final self-check requires 4-shard throughput to beat 1-shard
+ * throughput (exit 1 otherwise), so CI can run this binary as a
+ * regression gate.
+ *
+ * Usage: service_scalability [--quick]
+ *   --quick  CI sizing (scale 0.2, 32 threads)
+ * Environment: RETCON_SCALE / RETCON_THREADS as in bench_common.hpp.
+ */
+
+#include <cstring>
+
+#include "bench_common.hpp"
+
+using namespace retcon;
+using namespace retcon::bench;
+
+namespace {
+
+/// Modeled per-shard dispatch bandwidth (events/cycle). Small enough
+/// that one shard saturates under a full request load, so the bench
+/// exposes the serialization sharding removes.
+constexpr unsigned kDispatchBandwidth = 1;
+
+struct Point {
+    unsigned shards = 0;
+    Cycle cycles = 0;
+    double throughput = 0; ///< Commits per kilocycle.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        quick = quick || std::strcmp(argv[i], "--quick") == 0;
+
+    api::RunConfig base = baseConfig("service");
+    base.tm = api::retconConfig();
+    base.shardBandwidth = kDispatchBandwidth;
+    base.trace.enabled = true;   // Audit + per-shard repair counters.
+    base.trace.ringCapacity = 0; // Counters only; no retention.
+    if (quick) {
+        base.scale = 0.2;
+        base.nthreads = 32;
+    }
+
+    printHeader("Service workload vs event-queue shard count",
+                "ROADMAP scale-out target (not a paper figure)");
+    std::printf("dispatch bandwidth: %u events/cycle/shard; "
+                "work stealing on\n\n",
+                kDispatchBandwidth);
+
+    std::vector<Point> points;
+    bool all_ok = true;
+    for (unsigned shards : {1u, 2u, 4u}) {
+        if (shards > base.nthreads)
+            break;
+        api::RunConfig cfg = base;
+        cfg.shards = shards;
+        api::RunResult r = api::runOnce(cfg);
+        flagInvalid(r, "service");
+        all_ok = all_ok && r.validation.ok && r.reenact.ok();
+        if (!r.reenact.ok())
+            std::printf("!! reenactment audit: %s\n",
+                        r.reenact.summary().c_str());
+
+        Point p;
+        p.shards = shards;
+        p.cycles = r.cycles;
+        p.throughput = 1000.0 * double(r.coreStats.commits) /
+                       double(r.cycles);
+        points.push_back(p);
+
+        std::printf("%u shard%s: %llu cycles, %.2f commits/kcycle\n",
+                    shards, shards == 1 ? "" : "s",
+                    (unsigned long long)r.cycles, p.throughput);
+        std::printf("  %-5s %9s %9s %9s %9s %9s %9s\n", "shard",
+                    "commits", "aborts", "repairs", "events", "stolen",
+                    "slipped");
+        for (unsigned s = 0; s < r.shards.size(); ++s) {
+            const api::ShardSummary &ss = r.shards[s];
+            std::printf("  %-5u %9llu %9llu %9llu %9llu %9llu %9llu\n",
+                        s, (unsigned long long)ss.commits,
+                        (unsigned long long)ss.aborts,
+                        (unsigned long long)ss.repairs,
+                        (unsigned long long)ss.queueExecuted,
+                        (unsigned long long)ss.queueStolen,
+                        (unsigned long long)ss.queueDeferred);
+        }
+        std::printf("\n");
+    }
+
+    if (points.size() < 2) {
+        // Nothing to compare (e.g. RETCON_THREADS=1 leaves only the
+        // 1-shard point): not a scaling regression, just inapplicable.
+        std::printf("SKIP: need >= 2 shard points to judge scaling "
+                    "(got %zu)\n",
+                    points.size());
+        return all_ok ? 0 : 1;
+    }
+    const Point &first = points.front();
+    const Point &last = points.back();
+    double gain = last.throughput / first.throughput;
+    std::printf("throughput %u -> %u shards: %.2fx\n", first.shards,
+                last.shards, gain);
+    if (!(gain > 1.0) || !all_ok) {
+        std::printf("FAIL: sharding did not scale (or a run was "
+                    "invalid)\n");
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

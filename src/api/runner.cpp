@@ -2,7 +2,7 @@
 
 #include "sim/logging.hpp"
 #include "trace/export.hpp"
-#include "trace/recorder.hpp"
+#include "trace/shard_mux.hpp"
 
 namespace retcon::api {
 
@@ -63,29 +63,32 @@ runOnce(const RunConfig &cfg)
     ccfg.seed = cfg.seed;
     ccfg.tm = cfg.tm;
     ccfg.maxCycles = cfg.maxCycles;
+    ccfg.numShards = cfg.shards;
+    ccfg.shardBandwidth = cfg.shardBandwidth;
+    ccfg.shardWorkStealing = cfg.shardWorkStealing;
 
     exec::Cluster cluster(ccfg);
 
     // Optional provenance/audit instrumentation. The sinks must
     // outlive the run; the validator reads architectural memory, so it
-    // is built against this cluster instance.
-    trace::MultiSink sink;
-    std::unique_ptr<trace::TraceRecorder> recorder;
+    // is built against this cluster instance. Records are captured in
+    // per-shard rings (ShardMux) and the validator consumes the merged
+    // live stream, which arrives in global order by construction.
+    std::unique_ptr<trace::ShardMux> mux;
     std::unique_ptr<trace::ReenactmentValidator> validator;
     if (cfg.trace.enabled) {
-        if (cfg.trace.ringCapacity > 0) {
-            recorder = std::make_unique<trace::TraceRecorder>(
-                cfg.trace.ringCapacity);
-            sink.add(recorder.get());
-        }
+        mux = std::make_unique<trace::ShardMux>(
+            cluster.numShards(),
+            [&cluster](CoreId core) { return cluster.shardOf(core); },
+            cfg.trace.ringCapacity);
         if (cfg.trace.validate) {
             validator = std::make_unique<trace::ReenactmentValidator>(
                 [&cluster](Addr a) {
                     return cluster.memory().readWord(a);
                 });
-            sink.add(validator.get());
+            mux->addDownstream(validator.get());
         }
-        cluster.setTraceSink(&sink);
+        cluster.setTraceSink(mux.get());
     }
 
     workload->setup(cluster);
@@ -102,6 +105,24 @@ runOnce(const RunConfig &cfg)
              result.validation.note.c_str());
     }
 
+    result.shards.resize(cluster.numShards());
+    for (unsigned s = 0; s < cluster.numShards(); ++s) {
+        ShardSummary &sum = result.shards[s];
+        exec::CoreStats cs = cluster.shardCoreStats(s);
+        sum.txns = cs.txns;
+        sum.commits = cs.commits;
+        sum.aborts = cs.aborts;
+        const auto &qs = cluster.shardQueueStats(s);
+        sum.queueScheduled = qs.scheduled;
+        sum.queueExecuted = qs.executed;
+        sum.queueStolen = qs.stolen;
+        sum.queueDeferred = qs.deferred;
+        if (mux) {
+            sum.traceEvents = mux->counters(s).events;
+            sum.repairs = mux->counters(s).repairs;
+        }
+    }
+
     if (validator) {
         result.reenact = validator->report();
         if (!result.reenact.ok()) {
@@ -110,12 +131,17 @@ runOnce(const RunConfig &cfg)
                  result.reenact.summary().c_str());
         }
     }
-    if (recorder) {
-        result.traceEvents = recorder->totalEvents();
-        if (!cfg.trace.exportJsonPath.empty())
-            trace::exportJsonFile(*recorder, cfg.trace.exportJsonPath);
-        if (!cfg.trace.exportCsvPath.empty())
-            trace::exportCsvFile(*recorder, cfg.trace.exportCsvPath);
+    if (mux) {
+        result.traceEvents = mux->totalEvents();
+        if (cfg.trace.ringCapacity > 0 &&
+            (!cfg.trace.exportJsonPath.empty() ||
+             !cfg.trace.exportCsvPath.empty())) {
+            std::vector<trace::Record> merged = mux->mergedSnapshot();
+            if (!cfg.trace.exportJsonPath.empty())
+                trace::exportJsonFile(merged, cfg.trace.exportJsonPath);
+            if (!cfg.trace.exportCsvPath.empty())
+                trace::exportCsvFile(merged, cfg.trace.exportCsvPath);
+        }
     }
     return result;
 }
@@ -125,6 +151,7 @@ sequentialCycles(const RunConfig &cfg)
 {
     RunConfig seq = cfg;
     seq.nthreads = 1;
+    seq.shards = 1; // A single core needs (and permits) one shard.
     seq.tm = serialConfig();
     return runOnce(seq).cycles;
 }

@@ -33,7 +33,12 @@ struct TraceOptions {
     /** Reenact every commit against architectural memory. */
     bool validate = true;
 
-    /** Retain the newest this-many events for export (0 = no ring). */
+    /**
+     * Retain the newest this-many events *per event-queue shard* for
+     * export (0 = no rings, counters only). Total retention is up to
+     * ringCapacity * RunConfig::shards; exports merge the per-shard
+     * rings (see docs/trace-format.md).
+     */
     std::size_t ringCapacity = 1 << 16;
 
     /** When non-empty, export retained events after the run. */
@@ -50,6 +55,34 @@ struct RunConfig {
     double scale = 1.0;
     Cycle maxCycles = 2'000'000'000ull;
     TraceOptions trace{};
+
+    /**
+     * Event-queue shards (1..nthreads; cores map round-robin). With
+     * shardBandwidth 0 results are bit-identical for any shard count;
+     * a nonzero bandwidth models the per-shard dispatch serialization
+     * sharding exists to remove (see docs/architecture.md).
+     */
+    unsigned shards = 1;
+    unsigned shardBandwidth = 0; ///< Events/cycle/shard; 0 = unlimited.
+    bool shardWorkStealing = true;
+};
+
+/** Per-shard outcome of a run (one entry per event-queue shard). */
+struct ShardSummary {
+    /// Core-level activity of the cores homed on this shard.
+    std::uint64_t txns = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+
+    /// Queue-level load and work stealing.
+    std::uint64_t queueScheduled = 0;
+    std::uint64_t queueExecuted = 0;
+    std::uint64_t queueStolen = 0;
+    std::uint64_t queueDeferred = 0;
+
+    /// Provenance counters (0 unless trace.enabled).
+    std::uint64_t traceEvents = 0;
+    std::uint64_t repairs = 0;
 };
 
 /** Everything a run produces. */
@@ -60,9 +93,12 @@ struct RunResult {
     htm::MachineStats machineStats;
     workloads::ValidationResult validation;
 
+    /** One entry per event-queue shard. */
+    std::vector<ShardSummary> shards;
+
     /** Audit results (all-zero unless trace.enabled && validate). */
     trace::ReenactReport reenact;
-    /** Events seen by the ring recorder (0 unless enabled). */
+    /** Events seen by the trace subsystem (0 unless enabled). */
     std::uint64_t traceEvents = 0;
 };
 

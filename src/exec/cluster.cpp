@@ -4,17 +4,35 @@
 
 namespace retcon::exec {
 
-Cluster::Cluster(const ClusterConfig &cfg) : _cfg(cfg)
+namespace {
+
+ShardedQueueConfig
+queueConfig(const ClusterConfig &cfg)
+{
+    ShardedQueueConfig q;
+    q.nshards = cfg.numShards;
+    q.dispatchBandwidth = cfg.shardBandwidth;
+    q.workStealing = cfg.shardWorkStealing;
+    return q;
+}
+
+} // namespace
+
+Cluster::Cluster(const ClusterConfig &cfg)
+    : _cfg(cfg), _eq(queueConfig(cfg))
 {
     sim_assert(cfg.numThreads >= 1 && cfg.numThreads <= 64,
                "thread count out of range");
+    sim_assert(cfg.numShards >= 1 && cfg.numShards <= cfg.numThreads,
+               "shard count out of range (1..numThreads)");
     _ms = std::make_unique<mem::MemorySystem>(cfg.numThreads, cfg.timing,
                                               cfg.caches);
     _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, cfg.tm);
     _barrier = std::make_unique<Barrier>(cfg.numThreads);
     for (CoreId i = 0; i < cfg.numThreads; ++i)
         _cores.push_back(std::make_unique<Core>(
-            i, _eq, *_tm, *_barrier, cfg.numThreads, cfg.seed));
+            i, ShardRef(_eq, shardOf(i)), *_tm, *_barrier,
+            cfg.numThreads, cfg.seed));
     _tm->setRemoteAbortHandler([this](CoreId victim, htm::AbortCause c) {
         _cores[victim]->onRemoteAbort(c);
     });
@@ -65,6 +83,22 @@ Cluster::aggregateStats() const
 {
     CoreStats total;
     for (const auto &core : _cores) {
+        total.txns += core->stats().txns;
+        total.commits += core->stats().commits;
+        total.aborts += core->stats().aborts;
+        total.finishCycle =
+            std::max(total.finishCycle, core->stats().finishCycle);
+    }
+    return total;
+}
+
+CoreStats
+Cluster::shardCoreStats(unsigned shard) const
+{
+    CoreStats total;
+    for (const auto &core : _cores) {
+        if (core->shard() != shard)
+            continue;
         total.txns += core->stats().txns;
         total.commits += core->stats().commits;
         total.aborts += core->stats().aborts;

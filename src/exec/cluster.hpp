@@ -2,10 +2,14 @@
  * @file
  * Cluster: the assembled simulated machine.
  *
- * Owns the event queue, the coherent memory hierarchy, the TM machine,
- * the barrier, and one Core per simulated thread, wired together per
- * Table 1. Workloads install one thread program per core and run() the
- * event loop to completion.
+ * Owns the sharded event queue, the coherent memory hierarchy, the TM
+ * machine, the barrier, and one Core per simulated thread, wired
+ * together per Table 1. Cores map round-robin onto the event-queue
+ * shards (core i -> shard i % numShards); each shard is its own clock
+ * domain with a work-stealing fallback, while commit/repair ordering
+ * stays globally correct (see sim/sharded_queue.hpp and
+ * docs/architecture.md). Workloads install one thread program per
+ * core and run() the event loop to completion.
  */
 
 #ifndef RETCON_EXEC_CLUSTER_HPP
@@ -17,7 +21,7 @@
 #include "exec/core.hpp"
 #include "htm/machine.hpp"
 #include "mem/memory_system.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/sharded_queue.hpp"
 
 namespace retcon::exec {
 
@@ -29,6 +33,25 @@ struct ClusterConfig {
     mem::MemTimingConfig timing{};
     mem::CacheConfig caches{};
     Cycle maxCycles = 2'000'000'000ull; ///< Watchdog for runaway runs.
+
+    /**
+     * Event-queue shards (1..numThreads). With shardBandwidth 0 the
+     * shard count is performance-transparent: simulated results are
+     * bit-identical for any value (the queues merge on a global
+     * schedule order).
+     */
+    unsigned numShards = 1;
+
+    /**
+     * Modeled per-shard dispatch bandwidth (events/cycle, 0 =
+     * unlimited): the sequencer serialization a single-queue cluster
+     * suffers and sharding removes. Over-quota events slip a cycle
+     * unless an idle shard steals them.
+     */
+    unsigned shardBandwidth = 0;
+
+    /** Allow idle shards to drain over-quota ones (work stealing). */
+    bool shardWorkStealing = true;
 
     /**
      * Optional provenance sink (non-owning; must outlive the cluster).
@@ -49,13 +72,21 @@ class Cluster
     /** Run the event loop until all cores finish. @return makespan. */
     Cycle run();
 
-    EventQueue &eventQueue() { return _eq; }
+    ShardedEventQueue &eventQueue() { return _eq; }
     mem::MemorySystem &memorySystem() { return *_ms; }
     mem::SparseMemory &memory() { return _ms->memory(); }
     htm::TMMachine &machine() { return *_tm; }
     Core &core(CoreId i) { return *_cores[i]; }
     unsigned numThreads() const { return _cfg.numThreads; }
+    unsigned numShards() const { return _cfg.numShards; }
     const ClusterConfig &config() const { return _cfg; }
+
+    /** Home event-queue shard of core @p i (round-robin placement). */
+    unsigned
+    shardOf(CoreId i) const
+    {
+        return i % _cfg.numShards;
+    }
 
     /** Aggregate time breakdown over all cores. */
     TimeBreakdown aggregateBreakdown() const;
@@ -63,12 +94,22 @@ class Cluster
     /** Sum of per-core stats. */
     CoreStats aggregateStats() const;
 
+    /** Sum of core stats over the cores homed on @p shard. */
+    CoreStats shardCoreStats(unsigned shard) const;
+
+    /** Queue-level load/steal counters for @p shard. */
+    const ShardedEventQueue::ShardStats &
+    shardQueueStats(unsigned shard) const
+    {
+        return _eq.shardStats(shard);
+    }
+
     /** Attach/detach a provenance sink after construction. */
     void setTraceSink(trace::TraceSink *sink);
 
   private:
     ClusterConfig _cfg;
-    EventQueue _eq;
+    ShardedEventQueue _eq;
     std::unique_ptr<mem::MemorySystem> _ms;
     std::unique_ptr<htm::TMMachine> _tm;
     std::unique_ptr<Barrier> _barrier;

@@ -220,7 +220,7 @@ WorkerCtx::annotate(Word mark_id)
 // Core
 // ---------------------------------------------------------------------
 
-Core::Core(CoreId id, EventQueue &eq, htm::TMMachine &tm, Barrier &barrier,
+Core::Core(CoreId id, ShardRef eq, htm::TMMachine &tm, Barrier &barrier,
            unsigned nthreads, std::uint64_t seed)
     : _id(id), _eq(eq), _tm(tm), _barrier(barrier), _tx(this)
 {

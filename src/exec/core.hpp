@@ -27,8 +27,8 @@
 #include "exec/tx_value.hpp"
 #include "htm/machine.hpp"
 #include "retcon/interval.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_queue.hpp"
 #include "sim/types.hpp"
 
 namespace retcon::exec {
@@ -248,7 +248,7 @@ class Core
     using BodyFactory = std::function<Task<TxValue>(Tx &)>;
     using ProgramFactory = std::function<Task<void>(WorkerCtx &)>;
 
-    Core(CoreId id, EventQueue &eq, htm::TMMachine &tm, Barrier &barrier,
+    Core(CoreId id, ShardRef eq, htm::TMMachine &tm, Barrier &barrier,
          unsigned nthreads, std::uint64_t seed);
 
     /** Install and start the thread program at the current cycle. */
@@ -256,6 +256,8 @@ class Core
 
     bool finished() const { return _finished; }
     CoreId id() const { return _id; }
+    /** Home event-queue shard this core schedules onto. */
+    unsigned shard() const { return _eq.shard(); }
     const TimeBreakdown &breakdown() const { return _breakdown; }
     const CoreStats &stats() const { return _stats; }
     WorkerCtx &ctx() { return *_ctx; }
@@ -281,7 +283,7 @@ class Core
     enum class Cat { Busy, Work, Stall, Commit, Barrier };
 
     CoreId _id;
-    EventQueue &_eq;
+    ShardRef _eq; ///< Home-shard scheduling handle (global clock).
     htm::TMMachine &_tm;
     Barrier &_barrier;
     Tx _tx;

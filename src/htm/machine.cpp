@@ -79,9 +79,9 @@ isFullWordAccess(Addr addr, unsigned size)
 
 } // namespace
 
-TMMachine::TMMachine(EventQueue &eq, mem::MemorySystem &ms,
+TMMachine::TMMachine(const SimClock &clock, mem::MemorySystem &ms,
                      const TMConfig &cfg)
-    : _eq(eq), _ms(ms), _cfg(cfg), _predictor(cfg.predictor)
+    : _eq(clock), _ms(ms), _cfg(cfg), _predictor(cfg.predictor)
 {
     _cores.reserve(ms.numCores());
     for (unsigned i = 0; i < ms.numCores(); ++i)
@@ -111,6 +111,7 @@ TMMachine::audit(CoreId core, trace::EventKind kind, Addr addr, Word a,
         return;
     trace::Record r;
     r.cycle = _eq.now();
+    r.seq = _auditSeq++;
     r.core = core;
     r.kind = kind;
     r.addr = addr;
@@ -707,6 +708,7 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
         out.value = _ms.memory().read(addr, size);
         if (forwarded) {
             ++_stats.fwdReads;
+            st.datmForwardedRead = true;
             emitTrace(core, "forward", addr, out.value);
         } else {
             emitTrace(core, "load", addr, out.value);
@@ -1321,11 +1323,17 @@ TMMachine::finalizeCommit(CoreId core)
         _lazyCommitToken = kNoCore;
     _activeUids.erase(st.uid);
 
+    // The forwarded-data flag must be read before resetSpeculation()
+    // clears it; it rides on the commit record so exports make the
+    // validator's treat-DATM-as-eager gap visible per commit.
+    std::uint8_t commit_aux =
+        st.datmForwardedRead ? trace::kCommitAuxDatmForwarded : 0;
     st.resetSpeculation();
     st.hasTimestamp = false;
     ++_stats.commits;
     emitTrace(core, "commit", 0, 0);
-    audit(core, trace::EventKind::Commit);
+    audit(core, trace::EventKind::Commit, 0, 0, 0, std::nullopt,
+          rtc::CmpOp::EQ, commit_aux);
 
     CommitStepOutcome out;
     out.done = true;

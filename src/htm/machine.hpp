@@ -79,7 +79,13 @@ class TMMachine : public mem::CoherenceListener
     /** Timeline hook for the Figure 2 bench. */
     using TraceFn = std::function<void(const TraceEvent &)>;
 
-    TMMachine(EventQueue &eq, mem::MemorySystem &ms, const TMConfig &cfg);
+    /**
+     * @p clock is only observed (latency stamps, provenance records):
+     * pass the driving EventQueue or a ShardedEventQueue's global
+     * clock — the machine never schedules events itself.
+     */
+    TMMachine(const SimClock &clock, mem::MemorySystem &ms,
+              const TMConfig &cfg);
     ~TMMachine();
 
     TMMachine(const TMMachine &) = delete;
@@ -176,7 +182,7 @@ class TMMachine : public mem::CoherenceListener
     CoreTxState &coreState(CoreId core) { return *_cores[core]; }
 
   private:
-    EventQueue &_eq;
+    const SimClock &_eq;
     mem::MemorySystem &_ms;
     TMConfig _cfg;
     rtc::ConflictPredictor _predictor;
@@ -184,6 +190,7 @@ class TMMachine : public mem::CoherenceListener
     RemoteAbortFn _onRemoteAbort;
     TraceFn _trace;
     trace::TraceSink *_sink = nullptr;
+    std::uint64_t _auditSeq = 1; ///< Global provenance-record order.
     MachineStats _stats;
 
     std::uint64_t _nextTimestamp = 1;

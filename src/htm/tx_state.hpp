@@ -83,6 +83,13 @@ struct CoreTxState {
     /// speculative data, so the predecessor's abort cascades here).
     std::unordered_map<std::uint64_t, std::uint8_t> datmPreds;
 
+    /// DATM: this attempt loaded a value forwarded from another
+    /// in-flight transaction. Surfaced on the commit provenance record
+    /// (trace::kCommitAuxDatmForwarded) because the reenactment
+    /// validator treats such commits as eager — the forwarding chain
+    /// itself is not re-derived (see docs/trace-format.md).
+    bool datmForwardedRead = false;
+
     /// Pre-commit walk cursor.
     int commitPhase = 0;
     std::size_t commitIvbIdx = 0;
@@ -120,6 +127,7 @@ struct CoreTxState {
         ssb.clear();
         permCache.clear();
         datmPreds.clear();
+        datmForwardedRead = false;
         overflowed = false;
         overflowPending = false;
         commitPhase = 0;

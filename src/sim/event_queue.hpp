@@ -33,9 +33,13 @@ struct EventHandle {
  * Cycle-ordered event queue driving the whole simulation.
  *
  * The queue owns the simulated clock: now() advances only when run()
- * pops an event scheduled later than the current cycle.
+ * pops an event scheduled later than the current cycle. When used as
+ * one shard of a ShardedEventQueue (sim/sharded_queue.hpp), the owner
+ * supplies globally unique sequence numbers through scheduleSeq() and
+ * drives execution through peekNext()/step(), so this clock becomes
+ * the shard's local clock domain.
  */
-class EventQueue
+class EventQueue : public SimClock
 {
   public:
     using Callback = std::function<void()>;
@@ -45,13 +49,36 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated cycle. */
-    Cycle now() const { return _now; }
+    Cycle now() const override { return _now; }
 
     /**
      * Schedule @p cb to run at absolute cycle @p when.
      * @return a handle usable with cancel().
      */
     EventHandle schedule(Cycle when, Callback cb);
+
+    /**
+     * Schedule with a caller-supplied tie-break sequence number.
+     * A ShardedEventQueue allocates these from one global counter so
+     * same-cycle events merge across shards in schedule order exactly
+     * as a single queue would order them.
+     */
+    EventHandle scheduleSeq(Cycle when, std::uint64_t seq, Callback cb);
+
+    /**
+     * Peek at the next live event without running it (prunes cancelled
+     * entries from the heap top). @return false when drained.
+     */
+    bool peekNext(Cycle &when, std::uint64_t &seq);
+
+    /**
+     * Re-schedule the next live event to @p new_when, keeping its
+     * sequence number (and therefore its order relative to events it
+     * was already ahead of). Used by the sharded queue to model
+     * per-cycle dispatch-bandwidth slips. Call only after a successful
+     * peekNext(); @p new_when must not be in the past.
+     */
+    void deferNext(Cycle new_when);
 
     /** Schedule @p cb @p delta cycles from now. */
     EventHandle

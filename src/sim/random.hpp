@@ -12,6 +12,7 @@
 #ifndef RETCON_SIM_RANDOM_HPP
 #define RETCON_SIM_RANDOM_HPP
 
+#include <cmath>
 #include <cstdint>
 
 namespace retcon {
@@ -92,6 +93,63 @@ class Xoshiro
 
   private:
     std::uint64_t _s[4];
+};
+
+/**
+ * Zipfian key distribution over [0, n) — the YCSB/Gray "quickly
+ * generating billion-record databases" method. Rank 0 is the hottest
+ * key; theta (default 0.99, the YCSB standard) controls the skew.
+ * Used by the service workload to model web-request key popularity.
+ *
+ * The harmonic normalizer is precomputed in the constructor (O(n),
+ * fine at workload key-space sizes); next() is O(1) and consumes one
+ * value from the caller's per-thread stream, so draws stay
+ * deterministic regardless of interleaving.
+ */
+class Zipfian
+{
+  public:
+    explicit Zipfian(std::uint64_t n, double theta = 0.99)
+        : _n(n), _theta(theta)
+    {
+        double zetan = 0, zeta2 = 0;
+        for (std::uint64_t i = 1; i <= _n; ++i) {
+            zetan += 1.0 / std::pow(static_cast<double>(i), _theta);
+            if (i == 2)
+                zeta2 = zetan;
+        }
+        _zetan = zetan;
+        _alpha = 1.0 / (1.0 - _theta);
+        _eta = (1.0 - std::pow(2.0 / static_cast<double>(_n),
+                               1.0 - _theta)) /
+               (1.0 - zeta2 / _zetan);
+    }
+
+    std::uint64_t n() const { return _n; }
+    double theta() const { return _theta; }
+
+    /** Draw a rank in [0, n): 0 is the most popular. */
+    std::uint64_t
+    next(Xoshiro &rng)
+    {
+        double u = rng.uniform();
+        double uz = u * _zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, _theta))
+            return 1;
+        auto r = static_cast<std::uint64_t>(
+            static_cast<double>(_n) *
+            std::pow(_eta * u - _eta + 1.0, _alpha));
+        return r >= _n ? _n - 1 : r;
+    }
+
+  private:
+    std::uint64_t _n;
+    double _theta;
+    double _alpha = 0;
+    double _zetan = 0;
+    double _eta = 0;
 };
 
 } // namespace retcon

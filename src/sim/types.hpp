@@ -67,6 +67,23 @@ byteInWord(Addr a)
     return static_cast<unsigned>(a & (kWordBytes - 1));
 }
 
+/**
+ * Read-only view of a simulated clock.
+ *
+ * Both the single EventQueue and the sharded cluster queue implement
+ * this, so consumers that only observe time (the TM machine stamps
+ * latencies and provenance records but never schedules) work against
+ * either clock source.
+ */
+class SimClock
+{
+  public:
+    virtual ~SimClock() = default;
+
+    /** Current simulated cycle. */
+    virtual Cycle now() const = 0;
+};
+
 } // namespace retcon
 
 #endif // RETCON_SIM_TYPES_HPP

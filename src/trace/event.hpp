@@ -52,6 +52,15 @@ enum class EventKind : std::uint8_t {
 /** Short stable name (used by the exporters and reports). */
 const char *eventKindName(EventKind k);
 
+/**
+ * Commit-record aux bit: the committing transaction consumed a value
+ * forwarded from another in-flight transaction (DATM). The
+ * reenactment validator checks such commits as if they were eager —
+ * it does not re-derive the forwarding chain — so exports carry this
+ * flag to keep the audit gap visible (docs/trace-format.md).
+ */
+inline constexpr std::uint8_t kCommitAuxDatmForwarded = 0x1;
+
 /** One fixed-size trace record (POD; cheap to buffer in bulk). */
 struct Record {
     Cycle cycle = 0;
@@ -63,7 +72,11 @@ struct Record {
     rtc::SymTag sym{};       ///< Symbolic tag, when hasSym.
     bool hasSym = false;
     rtc::CmpOp cmp = rtc::CmpOp::EQ; ///< Constraint operator.
-    std::uint8_t aux = 0;    ///< AbortCause, or free per-kind flag.
+    std::uint8_t aux = 0;    ///< AbortCause, or per-kind flag bits.
+    /// Machine-global emission order. Same-cycle records from
+    /// different cores (and therefore different shard recorders)
+    /// merge deterministically on this key.
+    std::uint64_t seq = 0;
 };
 
 } // namespace retcon::trace

@@ -24,68 +24,147 @@ cmpOpName(rtc::CmpOp op)
 
 } // namespace
 
+void
+writeJsonRecord(const Record &r, std::ostream &os)
+{
+    os << "{\"cycle\":" << r.cycle << ",\"seq\":" << r.seq
+       << ",\"core\":" << r.core << ",\"kind\":\""
+       << eventKindName(r.kind) << "\""
+       << ",\"addr\":" << r.addr << ",\"a\":" << r.a << ",\"b\":" << r.b;
+    if (r.hasSym) {
+        os << ",\"sym\":{\"root\":" << r.sym.root
+           << ",\"delta\":" << r.sym.delta << "}";
+    }
+    if (r.kind == EventKind::Constraint)
+        os << ",\"cmp\":\"" << cmpOpName(r.cmp) << "\"";
+    if (r.kind == EventKind::Abort)
+        os << ",\"cause\":\""
+           << htm::abortCauseName(static_cast<htm::AbortCause>(r.aux))
+           << "\"";
+    if (r.kind == EventKind::Commit)
+        os << ",\"datm_forwarded\":"
+           << ((r.aux & kCommitAuxDatmForwarded) ? "true" : "false");
+    os << "}";
+}
+
+void
+writeCsvRecord(const Record &r, std::ostream &os)
+{
+    os << r.cycle << ',' << r.core << ',' << eventKindName(r.kind) << ','
+       << r.addr << ',' << r.a << ',' << r.b << ',';
+    if (r.hasSym)
+        os << r.sym.root << ',' << r.sym.delta;
+    else
+        os << ',';
+    os << ',' << cmpOpName(r.cmp) << ',' << static_cast<unsigned>(r.aux)
+       << ',' << r.seq << ','
+       << (r.kind == EventKind::Commit &&
+                   (r.aux & kCommitAuxDatmForwarded)
+               ? 1
+               : 0);
+}
+
+const char *
+csvHeader()
+{
+    return "cycle,core,kind,addr,a,b,sym_root,sym_delta,cmp,aux,seq,"
+           "datm_forwarded";
+}
+
 std::size_t
 exportJson(const TraceRecorder &rec, std::ostream &os)
 {
     std::size_t n = 0;
     rec.forEach([&](const Record &r) {
-        os << "{\"cycle\":" << r.cycle << ",\"core\":" << r.core
-           << ",\"kind\":\"" << eventKindName(r.kind) << "\""
-           << ",\"addr\":" << r.addr << ",\"a\":" << r.a
-           << ",\"b\":" << r.b;
-        if (r.hasSym) {
-            os << ",\"sym\":{\"root\":" << r.sym.root
-               << ",\"delta\":" << r.sym.delta << "}";
-        }
-        if (r.kind == EventKind::Constraint)
-            os << ",\"cmp\":\"" << cmpOpName(r.cmp) << "\"";
-        if (r.kind == EventKind::Abort)
-            os << ",\"cause\":\""
-               << htm::abortCauseName(
-                      static_cast<htm::AbortCause>(r.aux))
-               << "\"";
-        os << "}\n";
+        writeJsonRecord(r, os);
+        os << '\n';
         ++n;
     });
     return n;
+}
+
+std::size_t
+exportJson(const std::vector<Record> &recs, std::ostream &os)
+{
+    for (const Record &r : recs) {
+        writeJsonRecord(r, os);
+        os << '\n';
+    }
+    return recs.size();
 }
 
 std::size_t
 exportCsv(const TraceRecorder &rec, std::ostream &os)
 {
-    os << "cycle,core,kind,addr,a,b,sym_root,sym_delta,cmp,aux\n";
+    os << csvHeader() << '\n';
     std::size_t n = 0;
     rec.forEach([&](const Record &r) {
-        os << r.cycle << ',' << r.core << ','
-           << eventKindName(r.kind) << ',' << r.addr << ',' << r.a
-           << ',' << r.b << ',';
-        if (r.hasSym)
-            os << r.sym.root << ',' << r.sym.delta;
-        else
-            os << ',';
-        os << ',' << cmpOpName(r.cmp) << ','
-           << static_cast<unsigned>(r.aux) << '\n';
+        writeCsvRecord(r, os);
+        os << '\n';
         ++n;
     });
     return n;
 }
 
 std::size_t
-exportJsonFile(const TraceRecorder &rec, const std::string &path)
+exportCsv(const std::vector<Record> &recs, std::ostream &os)
+{
+    os << csvHeader() << '\n';
+    for (const Record &r : recs) {
+        writeCsvRecord(r, os);
+        os << '\n';
+    }
+    return recs.size();
+}
+
+namespace {
+
+template <typename Source, typename Fn>
+std::size_t
+exportToFile(const Source &src, const std::string &path, Fn fn)
 {
     std::ofstream os(path);
     if (!os)
         fatal("cannot open trace export file %s", path.c_str());
-    return exportJson(rec, os);
+    return fn(src, os);
+}
+
+} // namespace
+
+std::size_t
+exportJsonFile(const TraceRecorder &rec, const std::string &path)
+{
+    return exportToFile(rec, path, [](const TraceRecorder &r,
+                                      std::ostream &os) {
+        return exportJson(r, os);
+    });
+}
+
+std::size_t
+exportJsonFile(const std::vector<Record> &recs, const std::string &path)
+{
+    return exportToFile(recs, path, [](const std::vector<Record> &r,
+                                       std::ostream &os) {
+        return exportJson(r, os);
+    });
 }
 
 std::size_t
 exportCsvFile(const TraceRecorder &rec, const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open trace export file %s", path.c_str());
-    return exportCsv(rec, os);
+    return exportToFile(rec, path, [](const TraceRecorder &r,
+                                      std::ostream &os) {
+        return exportCsv(r, os);
+    });
+}
+
+std::size_t
+exportCsvFile(const std::vector<Record> &recs, const std::string &path)
+{
+    return exportToFile(recs, path, [](const std::vector<Record> &r,
+                                       std::ostream &os) {
+        return exportCsv(r, os);
+    });
 }
 
 } // namespace retcon::trace

@@ -1,12 +1,17 @@
 /**
  * @file
- * Offline trace export: serialize a TraceRecorder's retained events as
- * JSON Lines or CSV for analysis outside the simulator (timeline
- * reconstruction, per-address conflict studies, repair audits).
+ * Offline trace export: serialize provenance records as JSON Lines or
+ * CSV for analysis outside the simulator (timeline reconstruction,
+ * per-address conflict studies, repair audits). The field-by-field
+ * schema is documented in docs/trace-format.md.
  *
  * JSON Lines (one object per line) is chosen over a single array so
  * multi-gigabyte traces stream through line-oriented tools; the CSV
  * schema is flat with one column per Record field.
+ *
+ * Sources: a single TraceRecorder's retained ring, or any
+ * vector<Record> — e.g. ShardMux::mergedSnapshot(), the globally
+ * ordered merge of a sharded run's per-shard rings.
  */
 
 #ifndef RETCON_TRACE_EXPORT_HPP
@@ -14,21 +19,37 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "trace/recorder.hpp"
 
 namespace retcon::trace {
 
+/** Serialize one record as a single JSON object (no newline). */
+void writeJsonRecord(const Record &r, std::ostream &os);
+
+/** Serialize one record as a CSV row (no newline). */
+void writeCsvRecord(const Record &r, std::ostream &os);
+
+/** The CSV header row matching writeCsvRecord (no newline). */
+const char *csvHeader();
+
 /** Stream retained records as JSON Lines. @return records written. */
 std::size_t exportJson(const TraceRecorder &rec, std::ostream &os);
+std::size_t exportJson(const std::vector<Record> &recs, std::ostream &os);
 
 /** Stream retained records as CSV (with header). @return records. */
 std::size_t exportCsv(const TraceRecorder &rec, std::ostream &os);
+std::size_t exportCsv(const std::vector<Record> &recs, std::ostream &os);
 
 /** Write to a file; fatal()s when the file cannot be opened. */
 std::size_t exportJsonFile(const TraceRecorder &rec,
                            const std::string &path);
+std::size_t exportJsonFile(const std::vector<Record> &recs,
+                           const std::string &path);
 std::size_t exportCsvFile(const TraceRecorder &rec,
+                          const std::string &path);
+std::size_t exportCsvFile(const std::vector<Record> &recs,
                           const std::string &path);
 
 } // namespace retcon::trace

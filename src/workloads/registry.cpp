@@ -18,6 +18,17 @@ workloadNames()
 }
 
 const std::vector<std::string> &
+extendedWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = workloadNames();
+        all.push_back("service");
+        return all;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
 baseWorkloadNames()
 {
     static const std::vector<std::string> names = {
@@ -60,6 +71,8 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return makePython(params, true);
     if (name == "bayes")
         return makeBayes(params);
+    if (name == "service")
+        return makeService(params);
     fatal("unknown workload '%s'", name.c_str());
 }
 

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * service: a long-running web-service request loop (not in Table 2 —
+ * the ROADMAP's service-style workload for the sharded cluster).
+ *
+ * Each simulated thread is a worker serving a stream of requests
+ * against shared state that mirrors a small web backend:
+ *
+ *  - a per-key hit-counter array indexed by a Zipfian-skewed key
+ *    (YCSB theta = 0.99): the hottest keys live on a handful of
+ *    coherence blocks, so their `load; add 1; store` updates are
+ *    exactly the symbolic adds RETCON repairs instead of replaying;
+ *  - a resizable session hashtable (the paper's flagship repairable
+ *    size-word conflict) taking unique-session inserts;
+ *  - a shared work queue (intruder-style pointer contention that
+ *    repair cannot help — §5.4) taking a trickle of enqueued jobs
+ *    drained by worker dequeues;
+ *  - striped stats counters (hits, inserts, queue traffic) updated
+ *    transactionally on every request. Striping (worker t uses stripe
+ *    t mod 8, summed at validation) mirrors how real services shard
+ *    their metrics: the stripes stay contended enough to exercise
+ *    repair without serializing every request through one block.
+ *
+ * Request mix: 55% page views, 25% session creates, 12% job
+ * enqueues, 8% job dequeues.
+ *
+ * Validation is conservation-based and interleaving-independent, so
+ * it holds for any shard count, dispatch bandwidth, or TM mode: every
+ * committed counter must match host-side request accounting, the
+ * session table must hold exactly the warmup plus successful inserts,
+ * and queue payloads must balance (prefill + enqueued = dequeued +
+ * still queued, by count and by payload sum).
+ */
+
+#include "ds/hashtable.hpp"
+#include "ds/queue.hpp"
+#include "workloads/workload.hpp"
+
+using retcon::exec::Task;
+using retcon::exec::Tx;
+using retcon::exec::TxValue;
+using retcon::exec::WorkerCtx;
+
+namespace retcon::workloads {
+
+namespace {
+
+class ServiceWorkload : public Workload
+{
+  public:
+    explicit ServiceWorkload(const WorkloadParams &p) : _p(p)
+    {
+        _keys = _p.scaled(192, 16);
+        _requests = _p.scaled(1600, 64);
+        _warmSessions = _p.scaled(48, 8);
+    }
+
+    std::string name() const override { return "service"; }
+
+    void
+    setup(exec::Cluster &cluster) override
+    {
+        auto &mem = cluster.memory();
+        _alloc = std::make_unique<ds::SimAllocator>(
+            kHeapBase, kArenaBytes, cluster.numThreads());
+
+        // Striped stats: six counters per stripe, one stripe per
+        // coherence block. Threads sharing a stripe still conflict
+        // (and RETCON repairs those adds); threads on different
+        // stripes proceed in parallel.
+        _statsBase = _alloc->allocShared(kStatStripes * kBlockBytes);
+        for (unsigned s = 0; s < kStatStripes; ++s)
+            for (unsigned i = 0; i < 6; ++i)
+                mem.writeWord(statAddr(s, i), 0);
+
+        // Per-key hit counters, packed (hot Zipfian head shares
+        // blocks; the predictor learns them fast).
+        _hitsBase = _alloc->allocShared(_keys * kWordBytes);
+        for (Word k = 0; k < _keys; ++k)
+            mem.writeWord(hitAddr(k), 0);
+
+        // Session table: small and resizable so the size word crosses
+        // its threshold under load (commit-time repaired growth).
+        _sessions = ds::SimHashtable::create(mem, *_alloc, 8, true);
+        for (Word w = 0; w < _warmSessions; ++w)
+            _sessions.hostInsert(mem, sessionKey(kWarmTid, w), w);
+
+        // Work queue with a small standing backlog.
+        _jobs = ds::SimQueue::create(mem, *_alloc);
+        for (Word i = 0; i < kPrefill; ++i) {
+            _jobs.hostEnqueue(mem, i + 1);
+            _prefillSum += i + 1;
+        }
+
+        _viewOps = _insertOps = _insertOk = 0;
+        _enqOps = _enqSum = _deqOk = _deqSum = 0;
+    }
+
+    exec::Core::ProgramFactory
+    program() override
+    {
+        return [this](WorkerCtx &ctx) { return run(ctx); };
+    }
+
+    ValidationResult
+    validate(exec::Cluster &cluster) override
+    {
+        const auto &mem = cluster.memory();
+
+        // 1. Page views: the striped counters and the per-key counters
+        //    must both account for every committed view exactly once.
+        if (stripedSum(mem, kHits) != _viewOps)
+            return {false, "hit counter diverged from request count"};
+        Word perKey = 0;
+        for (Word k = 0; k < _keys; ++k)
+            perKey += mem.readWord(hitAddr(k));
+        if (perKey != _viewOps)
+            return {false, "per-key hit counters diverged"};
+
+        // 2. Sessions: unique keys, so every insert must succeed and
+        //    land exactly once.
+        if (_insertOk != _insertOps)
+            return {false, "a unique session insert was rejected"};
+        if (stripedSum(mem, kInserts) != _insertOk)
+            return {false, "session counter diverged"};
+        if (_sessions.hostCountNodes(mem) != _warmSessions + _insertOk)
+            return {false, "session table lost or duplicated nodes"};
+
+        // 3. Queue conservation, by count and by payload sum.
+        if (stripedSum(mem, kEnqueued) != _enqOps ||
+            stripedSum(mem, kEnqSum) != _enqSum)
+            return {false, "enqueue counters diverged"};
+        if (stripedSum(mem, kDequeued) != _deqOk ||
+            stripedSum(mem, kDeqSum) != _deqSum)
+            return {false, "dequeue counters diverged"};
+        Word queued = _jobs.hostCount(mem);
+        if (kPrefill + _enqOps != _deqOk + queued)
+            return {false, "queue job count not conserved"};
+        Word remaining = hostQueuePayloadSum(mem);
+        if (_prefillSum + _enqSum != _deqSum + remaining)
+            return {false, "queue payload sum not conserved"};
+        return {true, ""};
+    }
+
+  private:
+    /// Stats-stripe word indices.
+    static constexpr unsigned kHits = 0;
+    static constexpr unsigned kInserts = 1;
+    static constexpr unsigned kEnqueued = 2;
+    static constexpr unsigned kDequeued = 3;
+    static constexpr unsigned kEnqSum = 4;
+    static constexpr unsigned kDeqSum = 5;
+
+    /// Metric stripes (one coherence block each; worker t -> t mod 8).
+    static constexpr unsigned kStatStripes = 8;
+
+    static constexpr Word kPrefill = 8;
+    /// Warmup sessions use a tid no worker thread can have.
+    static constexpr Word kWarmTid = 0xffff;
+
+    WorkloadParams _p;
+    Word _keys, _requests, _warmSessions;
+    std::unique_ptr<ds::SimAllocator> _alloc;
+    Addr _statsBase = 0;
+    Addr _hitsBase = 0;
+    ds::SimHashtable _sessions;
+    ds::SimQueue _jobs;
+    Word _prefillSum = 0;
+
+    // Host-side request accounting (single host thread; coroutines
+    // interleave but never race). Deterministic for a fixed seed.
+    Word _viewOps = 0;
+    Word _insertOps = 0, _insertOk = 0;
+    Word _enqOps = 0, _enqSum = 0;
+    Word _deqOk = 0, _deqSum = 0;
+
+    Addr
+    statAddr(unsigned stripe, unsigned i) const
+    {
+        return _statsBase + stripe * kBlockBytes + i * kWordBytes;
+    }
+
+    Word
+    stripedSum(const mem::SparseMemory &mem, unsigned i) const
+    {
+        Word sum = 0;
+        for (unsigned s = 0; s < kStatStripes; ++s)
+            sum += mem.readWord(statAddr(s, i));
+        return sum;
+    }
+
+    static unsigned stripeOf(unsigned tid) { return tid % kStatStripes; }
+
+    Addr hitAddr(Word k) const { return _hitsBase + k * kWordBytes; }
+
+    /** Unique session key: disjoint per tid, hashed to spread chains. */
+    static Word
+    sessionKey(Word tid, Word n)
+    {
+        return ds::hashKey(((tid + 1) << 32) | n);
+    }
+
+    Word
+    hostQueuePayloadSum(const mem::SparseMemory &mem) const
+    {
+        Word sum = 0;
+        Addr node = mem.readWord(_jobs.base() +
+                                 ds::SimQueue::kHead * kWordBytes);
+        while (node != 0) {
+            sum += mem.readWord(node +
+                                ds::SimQueue::kNodePayload * kWordBytes);
+            node = mem.readWord(node +
+                                ds::SimQueue::kNodeNext * kWordBytes);
+        }
+        return sum;
+    }
+
+    /** 55%: page view — bump the key's counter and the stripe's. */
+    Task<TxValue>
+    viewBody(Tx &tx, unsigned stripe, Word key)
+    {
+        TxValue h = co_await tx.load(hitAddr(key));
+        co_await tx.store(hitAddr(key), tx.add(h, 1));
+        TxValue total = co_await tx.load(statAddr(stripe, kHits));
+        co_await tx.store(statAddr(stripe, kHits), tx.add(total, 1));
+        co_return TxValue(1);
+    }
+
+    /** 25%: session create — unique insert + stripe counter. */
+    Task<TxValue>
+    sessionBody(Tx &tx, unsigned tid, Word key, Word value)
+    {
+        unsigned stripe = stripeOf(tid);
+        TxValue ins = co_await _sessions.insert(tx, tid, key, value);
+        TxValue cnt = co_await tx.load(statAddr(stripe, kInserts));
+        co_await tx.store(statAddr(stripe, kInserts), tx.addv(cnt, ins));
+        co_return ins;
+    }
+
+    /** 12%: enqueue a job carrying the requested key as payload. */
+    Task<TxValue>
+    enqueueBody(Tx &tx, unsigned tid, Word payload)
+    {
+        unsigned stripe = stripeOf(tid);
+        co_await _jobs.enqueue(tx, tid, payload);
+        TxValue n = co_await tx.load(statAddr(stripe, kEnqueued));
+        co_await tx.store(statAddr(stripe, kEnqueued), tx.add(n, 1));
+        TxValue s = co_await tx.load(statAddr(stripe, kEnqSum));
+        co_await tx.store(statAddr(stripe, kEnqSum),
+                          tx.add(s, static_cast<std::int64_t>(payload)));
+        co_return TxValue(1);
+    }
+
+    /** 8%: drain one job; counters only when one was present. */
+    Task<TxValue>
+    dequeueBody(Tx &tx, unsigned stripe)
+    {
+        TxValue got = co_await _jobs.dequeue(tx);
+        if (tx.cmpv(got, rtc::CmpOp::EQ, TxValue(0)))
+            co_return TxValue(0);
+        Word payload = tx.reify(got) - 1;
+        TxValue n = co_await tx.load(statAddr(stripe, kDequeued));
+        co_await tx.store(statAddr(stripe, kDequeued), tx.add(n, 1));
+        TxValue s = co_await tx.load(statAddr(stripe, kDeqSum));
+        co_await tx.store(statAddr(stripe, kDeqSum),
+                          tx.add(s, static_cast<std::int64_t>(payload)));
+        co_return TxValue(payload + 1);
+    }
+
+    Task<void>
+    run(WorkerCtx &ctx)
+    {
+        unsigned tid = ctx.tid();
+        unsigned nt = ctx.nthreads();
+        Word lo = _requests * tid / nt;
+        Word hi = _requests * (tid + 1) / nt;
+        Zipfian zipf(_keys);
+        Word nextSession = 0;
+
+        for (Word t = lo; t < hi; ++t) {
+            Word key = zipf.next(ctx.rng());
+            Word op = ctx.rng().below(100);
+            if (op < 55) {
+                ++_viewOps;
+                unsigned stripe = stripeOf(tid);
+                co_await ctx.txn([this, stripe, key](Tx &tx) {
+                    return viewBody(tx, stripe, key);
+                });
+            } else if (op < 80) {
+                ++_insertOps;
+                Word skey = sessionKey(tid, nextSession++);
+                TxValue ins =
+                    co_await ctx.txn([this, tid, skey, t](Tx &tx) {
+                        return sessionBody(tx, tid, skey, t);
+                    });
+                _insertOk += ins.concrete();
+            } else if (op < 92) {
+                ++_enqOps;
+                _enqSum += key + 1;
+                co_await ctx.txn([this, tid, key](Tx &tx) {
+                    return enqueueBody(tx, tid, key + 1);
+                });
+            } else {
+                unsigned stripe = stripeOf(tid);
+                TxValue got = co_await ctx.txn([this, stripe](Tx &tx) {
+                    return dequeueBody(tx, stripe);
+                });
+                if (got.concrete() != 0) {
+                    ++_deqOk;
+                    _deqSum += got.concrete() - 1;
+                }
+            }
+            // Inter-request gap: a loaded server turns requests
+            // around with little idle time, so sustained event demand
+            // stays near the dispatch limit the scalability bench
+            // models (bench/service_scalability.cpp).
+            co_await ctx.work(ctx.rng().range(20, 60));
+        }
+        co_await ctx.barrier();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeService(const WorkloadParams &p)
+{
+    return std::make_unique<ServiceWorkload>(p);
+}
+
+} // namespace retcon::workloads

@@ -80,6 +80,14 @@ const std::vector<std::string> &workloadNames();
 /** The 8 unmodified workloads of Figure 1. */
 const std::vector<std::string> &baseWorkloadNames();
 
+/**
+ * Table 2 plus the post-paper workloads (currently "service", the
+ * long-running Zipfian queue+hashtable request loop). The figure
+ * benches iterate workloadNames() so paper outputs stay comparable;
+ * the sweep/smoke drivers iterate this.
+ */
+const std::vector<std::string> &extendedWorkloadNames();
+
 // Per-workload constructors (variants share an implementation).
 std::unique_ptr<Workload> makeGenome(const WorkloadParams &p,
                                      bool resizable);
@@ -95,6 +103,7 @@ std::unique_ptr<Workload> makeVacation(const WorkloadParams &p,
 std::unique_ptr<Workload> makeYada(const WorkloadParams &p);
 std::unique_ptr<Workload> makePython(const WorkloadParams &p, bool opt);
 std::unique_ptr<Workload> makeBayes(const WorkloadParams &p);
+std::unique_ptr<Workload> makeService(const WorkloadParams &p);
 
 } // namespace retcon::workloads
 

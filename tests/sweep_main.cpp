@@ -1,10 +1,14 @@
 // Development sweep driver: run every workload under the three paper
 // configurations, validate functional state, print speedups.
 //
-// Usage: sweep_main [--quick] [--audit] [scale] [nthreads] [workload]
-//   --quick   reduced-iteration mode for CI (small scale, 4 threads)
-//   --audit   attach the trace/reenact oracle to every run and fail
-//             on any commit the validator cannot re-derive
+// Usage: sweep_main [--quick] [--audit] [--shards N] [scale] [nthreads]
+//                   [workload]
+//   --quick     reduced-iteration mode for CI (small scale, 4 threads)
+//   --audit     attach the trace/reenact oracle to every run and fail
+//               on any commit the validator cannot re-derive
+//   --shards N  run with N event-queue shards (see docs/architecture.md;
+//               results are bit-identical for any N, which --audit
+//               re-proves commit by commit)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +22,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool audit = false;
+    unsigned shards = 1;
     double scale = 0.25;
     unsigned nthreads = 8;
     const char *only = nullptr;
@@ -28,6 +33,12 @@ main(int argc, char **argv)
             quick = true;
         } else if (std::strcmp(argv[i], "--audit") == 0) {
             audit = true;
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--shards requires a count\n");
+                return 1;
+            }
+            shards = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (positional == 0) {
             scale = std::atof(argv[i]);
             ++positional;
@@ -46,12 +57,18 @@ main(int argc, char **argv)
     } else if (quick && positional == 1) {
         nthreads = 4;
     }
+    if (shards < 1)
+        shards = 1;
+    if (shards > nthreads)
+        shards = nthreads;
 
+    if (shards > 1)
+        std::printf("event queue sharded %u ways\n", shards);
     std::printf("%-18s %10s | %8s %8s %8s | ok\n", "workload",
                 "seq-cyc", "eager", "lazy-vb", "retcon");
     bool all_ok = true;
     unsigned ran = 0;
-    for (const auto &name : workloads::workloadNames()) {
+    for (const auto &name : workloads::extendedWorkloadNames()) {
         if (only && name != only)
             continue;
         ++ran;
@@ -59,6 +76,7 @@ main(int argc, char **argv)
         cfg.workload = name;
         cfg.nthreads = nthreads;
         cfg.scale = scale;
+        cfg.shards = shards;
         cfg.trace.enabled = audit;
         cfg.trace.ringCapacity = 0; // Audit only; no event retention.
         Cycle seq = api::sequentialCycles(cfg);

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * End-to-end tests for the sharded cluster: shard count must never
+ * change committed architectural state (bit-identical runs for a
+ * fixed seed), the per-shard TraceRecorders must merge into one
+ * globally ordered trace, the ReenactmentValidator must stay sound
+ * over the merged stream with N > 1 shards — including catching
+ * deliberately corrupted repairs (faultInjectRepairXor) — and the
+ * service workload must conserve its invariants under sharding and
+ * dispatch-bandwidth modeling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/runner.hpp"
+#include "exec/cluster.hpp"
+#include "trace/reenact.hpp"
+#include "trace/shard_mux.hpp"
+
+using namespace retcon;
+using namespace retcon::exec;
+
+namespace {
+
+constexpr Addr kCounter = 0x1000;
+constexpr int kIters = 25;
+constexpr unsigned kThreads = 8;
+
+Task<TxValue>
+incrementBody(Tx &tx)
+{
+    TxValue v = co_await tx.load(kCounter);
+    v = tx.add(v, 1);
+    co_await tx.store(kCounter, v);
+    co_return v;
+}
+
+Task<void>
+threadMain(WorkerCtx &ctx)
+{
+    for (int i = 0; i < kIters; ++i) {
+        co_await ctx.txn([](Tx &tx) { return incrementBody(tx); });
+        co_await ctx.work(20);
+    }
+    co_await ctx.barrier();
+}
+
+struct ShardedRun {
+    Cycle cycles = 0;
+    Word counter = 0;
+    std::uint64_t commits = 0;
+    trace::ReenactReport report;
+    std::vector<trace::Record> merged;
+    std::uint64_t muxEvents = 0;
+    std::uint64_t muxRepairs = 0;
+};
+
+/** Contended-counter run on a sharded cluster with mux + validator. */
+ShardedRun
+runSharded(unsigned nshards, Word fault_xor = 0, unsigned bandwidth = 0,
+           htm::TMMode mode = htm::TMMode::Retcon)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = kThreads;
+    cfg.numShards = nshards;
+    cfg.shardBandwidth = bandwidth;
+    cfg.tm.mode = mode;
+    cfg.tm.faultInjectRepairXor = fault_xor;
+    Cluster cluster(cfg);
+    cluster.machine().predictor().observeConflict(blockAddr(kCounter));
+
+    trace::ShardMux mux(
+        nshards, [&cluster](CoreId c) { return cluster.shardOf(c); },
+        /*ring_capacity=*/1 << 16);
+    trace::ReenactmentValidator validator(
+        [&cluster](Addr a) { return cluster.memory().readWord(a); });
+    mux.addDownstream(&validator);
+    cluster.setTraceSink(&mux);
+
+    cluster.start([](WorkerCtx &ctx) { return threadMain(ctx); });
+    ShardedRun out;
+    out.cycles = cluster.run();
+    out.counter = cluster.memory().readWord(kCounter);
+    out.commits = cluster.aggregateStats().commits;
+    out.report = validator.report();
+    out.merged = mux.mergedSnapshot();
+    out.muxEvents = mux.totalEvents();
+    for (unsigned s = 0; s < nshards; ++s)
+        out.muxRepairs += mux.counters(s).repairs;
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Determinism across shard counts
+// ---------------------------------------------------------------------
+
+TEST(ShardedExec, ShardCountDoesNotChangeCommittedState)
+{
+    ShardedRun one = runSharded(1);
+    EXPECT_EQ(one.counter, Word(kThreads * kIters));
+    for (unsigned n : {2u, 4u, 8u}) {
+        ShardedRun sharded = runSharded(n);
+        // Bit-identical simulation: same makespan, same architectural
+        // state, same commit count, same provenance stream length.
+        EXPECT_EQ(sharded.cycles, one.cycles) << n << " shards";
+        EXPECT_EQ(sharded.counter, one.counter) << n << " shards";
+        EXPECT_EQ(sharded.commits, one.commits) << n << " shards";
+        EXPECT_EQ(sharded.muxEvents, one.muxEvents) << n << " shards";
+    }
+}
+
+TEST(ShardedExec, ServiceWorkloadStateIdenticalAcrossShardCounts)
+{
+    api::RunConfig cfg;
+    cfg.workload = "service";
+    cfg.nthreads = 8;
+    cfg.scale = 0.05;
+    cfg.tm = api::retconConfig();
+    api::RunResult one = api::runOnce(cfg);
+    EXPECT_TRUE(one.validation.ok) << one.validation.note;
+    for (unsigned n : {2u, 4u}) {
+        cfg.shards = n;
+        api::RunResult r = api::runOnce(cfg);
+        EXPECT_TRUE(r.validation.ok) << r.validation.note;
+        EXPECT_EQ(r.cycles, one.cycles) << n << " shards";
+        EXPECT_EQ(r.coreStats.commits, one.coreStats.commits);
+        EXPECT_EQ(r.coreStats.aborts, one.coreStats.aborts);
+    }
+}
+
+TEST(ShardedExec, BandwidthModelChangesTimingButPreservesCorrectness)
+{
+    ShardedRun free = runSharded(4);
+    ShardedRun limited = runSharded(4, 0, /*bandwidth=*/1);
+    // Dispatch serialization slows the run but every invariant holds.
+    EXPECT_GT(limited.cycles, free.cycles);
+    EXPECT_EQ(limited.counter, Word(kThreads * kIters));
+    EXPECT_EQ(limited.report.mismatches, 0u);
+    EXPECT_EQ(limited.report.commitsChecked,
+              std::uint64_t(kThreads * kIters));
+}
+
+// ---------------------------------------------------------------------
+// Merged per-shard traces + the audit oracle at N > 1
+// ---------------------------------------------------------------------
+
+TEST(ShardedExec, MergedShardTracesPassReenactmentValidator)
+{
+    ShardedRun out = runSharded(4);
+    EXPECT_EQ(out.report.mismatches, 0u) << out.report.summary();
+    EXPECT_EQ(out.report.commitsChecked,
+              std::uint64_t(kThreads * kIters));
+    EXPECT_GT(out.report.repairsChecked, 0u);
+    EXPECT_GT(out.muxRepairs, 0u);
+}
+
+TEST(ShardedExec, MergedSnapshotIsGloballyOrderedAndComplete)
+{
+    ShardedRun out = runSharded(4);
+    // Ring capacity exceeds the event count: the merge must contain
+    // every event exactly once, in strictly increasing machine order.
+    ASSERT_EQ(out.merged.size(), out.muxEvents);
+    for (std::size_t i = 1; i < out.merged.size(); ++i) {
+        EXPECT_LT(out.merged[i - 1].seq, out.merged[i].seq);
+        EXPECT_LE(out.merged[i - 1].cycle, out.merged[i].cycle);
+    }
+}
+
+TEST(ShardedExec, ShardRecordersOnlyHoldTheirCoresRecords)
+{
+    ClusterConfig cfg;
+    cfg.numThreads = kThreads;
+    cfg.numShards = 4;
+    cfg.tm.mode = htm::TMMode::Retcon;
+    Cluster cluster(cfg);
+    cluster.machine().predictor().observeConflict(blockAddr(kCounter));
+    trace::ShardMux mux(
+        4, [&cluster](CoreId c) { return cluster.shardOf(c); }, 1 << 16);
+    cluster.setTraceSink(&mux);
+    cluster.start([](WorkerCtx &ctx) { return threadMain(ctx); });
+    cluster.run();
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_GT(mux.recorder(s).size(), 0u) << "shard " << s;
+        mux.recorder(s).forEach([&](const trace::Record &r) {
+            EXPECT_EQ(cluster.shardOf(r.core), s);
+        });
+    }
+}
+
+TEST(ShardedExec, CorruptedRepairIsCaughtWithFourShards)
+{
+    // The negative control must survive sharding: a fault-injected
+    // repair shows up as a mismatch in the merged audit stream.
+    ShardedRun out = runSharded(4, /*fault_xor=*/0x10);
+    EXPECT_GT(out.report.repairsChecked, 0u);
+    EXPECT_GT(out.report.mismatches, 0u);
+    ASSERT_FALSE(out.report.samples.empty());
+    EXPECT_EQ(out.report.samples[0].what,
+              trace::Mismatch::What::RepairValue);
+    EXPECT_EQ(out.report.samples[0].expected ^ out.report.samples[0].got,
+              Word(0x10));
+}
+
+TEST(ShardedExec, CorruptedRepairIsCaughtUnderBandwidthAndStealing)
+{
+    ShardedRun out = runSharded(4, /*fault_xor=*/0x4, /*bandwidth=*/1);
+    EXPECT_GT(out.report.mismatches, 0u);
+}

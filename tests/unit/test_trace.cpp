@@ -272,4 +272,54 @@ TEST(TraceExport, JsonAndCsvCoverAllRetainedRecords)
     std::size_t ncsv = trace::exportCsv(ring, csv);
     EXPECT_EQ(ncsv, ring.size());
     EXPECT_EQ(csv.str().rfind("cycle,core,kind,", 0), 0u);
+    // The machine-global merge key is exported in both formats.
+    EXPECT_NE(json.str().find("\"seq\":"), std::string::npos);
+    EXPECT_NE(std::string(trace::csvHeader()).find("seq"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// DATM forwarding visibility
+// ---------------------------------------------------------------------
+
+TEST(TraceDatm, ForwardedCommitsCarryTheDatmForwardedFlag)
+{
+    // The validator checks DATM commits as if they were eager (the
+    // forwarding chain is not re-derived). The gap is made visible by
+    // flagging every commit that consumed forwarded data.
+    trace::TraceRecorder ring(1 << 14);
+    RunOutput out =
+        runCounter(htm::TMMode::DATM, true, 0, false, &ring);
+    EXPECT_EQ(out.counter, Word(kThreads * kIters));
+    std::uint64_t commits = 0, flagged = 0;
+    ring.forEach([&](const trace::Record &r) {
+        if (r.kind != trace::EventKind::Commit)
+            return;
+        ++commits;
+        if (r.aux & trace::kCommitAuxDatmForwarded)
+            ++flagged;
+    });
+    EXPECT_EQ(commits, std::uint64_t(kThreads * kIters));
+    // The contended counter forwards constantly under DATM.
+    EXPECT_GT(flagged, 0u);
+    EXPECT_LT(flagged, commits); // Uncontended commits stay unflagged.
+
+    // And the flag round-trips through the JSON export.
+    std::ostringstream json;
+    trace::exportJson(ring, json);
+    EXPECT_NE(json.str().find("\"datm_forwarded\":true"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"datm_forwarded\":false"),
+              std::string::npos);
+}
+
+TEST(TraceDatm, NonDatmCommitsNeverCarryTheFlag)
+{
+    trace::TraceRecorder ring(1 << 14);
+    runCounter(htm::TMMode::Retcon, true, 0, false, &ring);
+    ring.forEach([&](const trace::Record &r) {
+        if (r.kind == trace::EventKind::Commit) {
+            EXPECT_EQ(r.aux & trace::kCommitAuxDatmForwarded, 0);
+        }
+    });
 }

@@ -38,7 +38,7 @@ TEST_P(WorkloadValidation, FunctionalStateCorrect)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadValidation,
     ::testing::Combine(
-        ::testing::ValuesIn(workloads::workloadNames()),
+        ::testing::ValuesIn(workloads::extendedWorkloadNames()),
         ::testing::Values("eager", "lazy-vb", "retcon")),
     [](const auto &info) {
         std::string name =
