@@ -15,11 +15,15 @@
  * throughput (exit 1 otherwise), so CI can run this binary as a
  * regression gate.
  *
- * Usage: service_scalability [--quick]
- *   --quick  CI sizing (scale 0.2, 32 threads)
+ * Usage: service_scalability [--quick] [--json PATH]
+ *   --quick      CI sizing (scale 0.2, 32 threads)
+ *   --json PATH  also write the shard points as a JSON document
+ *                (CI uploads these as BENCH_*.json artifacts, the
+ *                repo's perf trajectory)
  * Environment: RETCON_SCALE / RETCON_THREADS as in bench_common.hpp.
  */
 
+#include <cstdio>
 #include <cstring>
 
 #include "bench_common.hpp"
@@ -40,14 +44,51 @@ struct Point {
     double throughput = 0; ///< Commits per kilocycle.
 };
 
+/** Emit the measured points as one JSON document (perf trajectory). */
+void
+writeJson(const char *path, double scale, unsigned nthreads,
+          const std::vector<Point> &points, double gain)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"service_scalability\",\"scale\":%g,"
+                 "\"nthreads\":%u,\"points\":[",
+                 scale, nthreads);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(f,
+                     "%s{\"shards\":%u,\"cycles\":%llu,"
+                     "\"commits_per_kcycle\":%.4f}",
+                     i ? "," : "", p.shards,
+                     (unsigned long long)p.cycles, p.throughput);
+    }
+    std::fprintf(f, "],\"throughput_gain\":%.4f}\n", gain);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
-        quick = quick || std::strcmp(argv[i], "--quick") == 0;
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a path\n");
+                return 1;
+            }
+            json_path = argv[++i];
+        }
+    }
 
     api::RunConfig base = baseConfig("service");
     base.tm = api::retconConfig();
@@ -111,6 +152,8 @@ main(int argc, char **argv)
         std::printf("SKIP: need >= 2 shard points to judge scaling "
                     "(got %zu)\n",
                     points.size());
+        if (json_path)
+            writeJson(json_path, base.scale, base.nthreads, points, 0);
         return all_ok ? 0 : 1;
     }
     const Point &first = points.front();
@@ -118,6 +161,8 @@ main(int argc, char **argv)
     double gain = last.throughput / first.throughput;
     std::printf("throughput %u -> %u shards: %.2fx\n", first.shards,
                 last.shards, gain);
+    if (json_path)
+        writeJson(json_path, base.scale, base.nthreads, points, gain);
     if (!(gain > 1.0) || !all_ok) {
         std::printf("FAIL: sharding did not scale (or a run was "
                     "invalid)\n");

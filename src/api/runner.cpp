@@ -120,6 +120,7 @@ runOnce(const RunConfig &cfg)
         if (mux) {
             sum.traceEvents = mux->counters(s).events;
             sum.repairs = mux->counters(s).repairs;
+            sum.forwards = mux->counters(s).forwards;
         }
     }
 

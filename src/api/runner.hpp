@@ -83,6 +83,7 @@ struct ShardSummary {
     /// Provenance counters (0 unless trace.enabled).
     std::uint64_t traceEvents = 0;
     std::uint64_t repairs = 0;
+    std::uint64_t forwards = 0; ///< DATM forwarded-value loads.
 };
 
 /** Everything a run produces. */
@@ -96,7 +97,13 @@ struct RunResult {
     /** One entry per event-queue shard. */
     std::vector<ShardSummary> shards;
 
-    /** Audit results (all-zero unless trace.enabled && validate). */
+    /**
+     * Audit results (all-zero unless trace.enabled && validate).
+     * Under DATM, `reenact.forwardedCommitsChecked` counts commits
+     * whose forwarding chains were fully re-derived and
+     * `reenact.forwardedCommitsSkipped` counts chains the validator
+     * could not walk — zero on a healthy run.
+     */
     trace::ReenactReport reenact;
     /** Events seen by the trace subsystem (0 unless enabled). */
     std::uint64_t traceEvents = 0;

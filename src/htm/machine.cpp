@@ -105,7 +105,7 @@ TMMachine::emitTrace(CoreId core, const char *kind, Addr addr, Word value)
 void
 TMMachine::audit(CoreId core, trace::EventKind kind, Addr addr, Word a,
                  Word b, const std::optional<rtc::SymTag> &sym,
-                 rtc::CmpOp cmp, std::uint8_t aux)
+                 rtc::CmpOp cmp, std::uint8_t aux, std::uint64_t vid)
 {
     if (!_sink)
         return;
@@ -123,6 +123,7 @@ TMMachine::audit(CoreId core, trace::EventKind kind, Addr addr, Word a,
     }
     r.cmp = cmp;
     r.aux = aux;
+    r.vid = vid;
     _sink->onEvent(r);
 }
 
@@ -300,6 +301,46 @@ TMMachine::datmCreatesCycle(std::uint64_t pred_uid,
     return false;
 }
 
+CoreId
+TMMachine::findForwardProducer(CoreId reader, Addr word,
+                               std::uint64_t &store_seq) const
+{
+    // Every DATM store indexes its machine-global write sequence in
+    // the writer's datmStoreSeq, so the newest indexed store for
+    // `word` across active transactions names the store whose value
+    // the word currently holds (rollbacks restore pre-images in
+    // reverse seq order, which makes the surviving max-seq store the
+    // value owner even after a cascade unwinds interleaved writes).
+    // If that store belongs to the reader itself the load observes
+    // its own data; if no active transaction indexed the word, its
+    // value is committed. Only the remaining case is a genuine value
+    // forward. Attribution is word-granular, newest writer wins: when
+    // several in-flight transactions hold sub-word stores inside one
+    // word, only the newest is named (and a reader whose own store is
+    // newest is not considered forwarded-to at all), so chains over
+    // sub-word interleavings are audited only through the newest
+    // writer — see the ROADMAP item on byte-granular attribution.
+    // Block-level dependence edges (set by the caller) still order
+    // every writer, so this limits audit coverage, not correctness.
+    Addr block = blockAddr(word);
+    CoreId producer = kNoCore;
+    std::uint64_t newest = 0;
+    for (CoreId c = 0; c < _ms.numCores(); ++c) {
+        const CoreTxState &st = *_cores[c];
+        if (!st.active() || !st.writeSet.count(block))
+            continue;
+        auto it = st.datmStoreSeq.find(word);
+        if (it != st.datmStoreSeq.end() && it->second >= newest) {
+            newest = it->second;
+            producer = c;
+        }
+    }
+    if (producer == reader)
+        return kNoCore;
+    store_seq = newest;
+    return producer;
+}
+
 void
 TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
                             bool notify_exec)
@@ -449,13 +490,14 @@ TMMachine::eagerAccess(CoreId core, Addr addr, bool is_write, Word value,
     }
 
     if (is_write) {
+        std::uint64_t vid = _writeSeq++;
         if (txnal)
-            st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
-        else
-            ++_writeSeq;
+            st.undo.record(word, _ms.memory().readWord(word), vid);
         _ms.memory().write(addr, value, size);
         emitTrace(core, "store", addr, value);
-        audit(core, trace::EventKind::Store, addr, value);
+        audit(core, trace::EventKind::Store, addr, value,
+              _sink ? _ms.memory().readWord(word) : 0, std::nullopt,
+              rtc::CmpOp::EQ, 0, vid);
     } else {
         out.value = _ms.memory().read(addr, size);
         emitTrace(core, "load", addr, out.value);
@@ -539,7 +581,7 @@ TMMachine::txBegin(CoreId core, bool is_retry)
     st.status = TxStatus::Active;
     st.txnStartCycle = _eq.now();
     emitTrace(core, "begin", 0, st.timestamp);
-    audit(core, trace::EventKind::TxBegin, 0, st.timestamp);
+    audit(core, trace::EventKind::TxBegin, 0, st.timestamp, st.uid);
     return out;
 }
 
@@ -680,7 +722,6 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
       }
 
       case TMMode::DATM: {
-        bool forwarded = false;
         for (CoreId h = 0; h < _ms.numCores(); ++h) {
             if (h == core)
                 continue;
@@ -699,21 +740,40 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
                                     std::nullopt};
             }
             st.datmPreds[hs.uid] |= 2; // Dataflow: forwarded value.
-            forwarded = true;
         }
         mem::AccessResult res = _ms.access(core, block, false);
         st.readSet.insert(block);
         MemOpOutcome out;
         out.latency = res.latency;
-        out.value = _ms.memory().read(addr, size);
-        if (forwarded) {
+        // The dependence edges above are block-granular (conservative
+        // ordering); the value flow the audit re-derives is per word.
+        // A load consumes forwarded data exactly when the word's
+        // current value is another in-flight transaction's store, in
+        // which case a Forward record (replacing the plain Load)
+        // names the producing attempt and store so the reenactment
+        // validator can resolve this read against the producer's
+        // logged write instead of trusting architectural memory.
+        // This second O(cores) pass deliberately runs after the edge
+        // loop: cycle resolution above can cascade-abort a candidate
+        // producer and roll the word back, so any producer collected
+        // mid-loop could be stale.
+        std::uint64_t store_seq = 0;
+        CoreId producer = findForwardProducer(core, word, store_seq);
+        if (producer != kNoCore) {
+            Word delivered =
+                _ms.memory().readWord(word) ^ _cfg.faultInjectForwardXor;
+            out.value = extractBytes(delivered, byte_off, size);
             ++_stats.fwdReads;
             st.datmForwardedRead = true;
             emitTrace(core, "forward", addr, out.value);
+            audit(core, trace::EventKind::Forward, word, delivered,
+                  _cores[producer]->uid, std::nullopt, rtc::CmpOp::EQ,
+                  0, store_seq);
         } else {
+            out.value = _ms.memory().read(addr, size);
             emitTrace(core, "load", addr, out.value);
+            audit(core, trace::EventKind::Load, addr, out.value);
         }
-        audit(core, trace::EventKind::Load, addr, out.value);
         return out;
       }
     }
@@ -882,10 +942,14 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
         }
         mem::AccessResult res = _ms.access(core, block, true);
         st.writeSet.insert(block);
-        st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
+        std::uint64_t vid = _writeSeq++;
+        st.undo.record(word, _ms.memory().readWord(word), vid);
+        st.datmStoreSeq[word] = vid;
         _ms.memory().write(addr, value, size);
         emitTrace(core, "store", addr, value);
-        audit(core, trace::EventKind::Store, addr, value);
+        audit(core, trace::EventKind::Store, addr, value,
+              _sink ? _ms.memory().readWord(word) : 0, std::nullopt,
+              rtc::CmpOp::EQ, 0, vid);
         return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
       }
     }
@@ -947,10 +1011,13 @@ TMMachine::retconEagerStore(CoreId core, Addr addr, Word value,
     }
 
     st.writeSet.insert(block);
-    st.undo.record(word, _ms.memory().readWord(word), _writeSeq++);
+    std::uint64_t vid = _writeSeq++;
+    st.undo.record(word, _ms.memory().readWord(word), vid);
     _ms.memory().write(addr, value, size);
     emitTrace(core, "store", addr, value);
-    audit(core, trace::EventKind::Store, addr, value);
+    audit(core, trace::EventKind::Store, addr, value,
+          _sink ? _ms.memory().readWord(word) : 0, std::nullopt,
+          rtc::CmpOp::EQ, 0, vid);
     return MemOpOutcome{OpStatus::Ok, res.latency, 0, std::nullopt};
 }
 

@@ -47,7 +47,8 @@ struct MachineStats {
     std::uint64_t conflicts = 0;
     std::uint64_t nacks = 0;
     std::uint64_t overflows = 0;
-    std::uint64_t fwdReads = 0; ///< DATM forwarded loads.
+    std::uint64_t fwdReads = 0; ///< DATM loads of forwarded values
+                                ///< (an in-flight producer's store).
     std::uint64_t abortsLazyValueMismatch = 0; ///< Equality-bit misses.
 
     AvgMax blocksLost;
@@ -269,7 +270,17 @@ class TMMachine : public mem::CoherenceListener
     void audit(CoreId core, trace::EventKind kind, Addr addr = 0,
                Word a = 0, Word b = 0,
                const std::optional<rtc::SymTag> &sym = std::nullopt,
-               rtc::CmpOp cmp = rtc::CmpOp::EQ, std::uint8_t aux = 0);
+               rtc::CmpOp cmp = rtc::CmpOp::EQ, std::uint8_t aux = 0,
+               std::uint64_t vid = 0);
+
+    /**
+     * DATM: locate the newest speculative store to @p word among
+     * active transactions other than @p reader (the store whose value
+     * a forwarded load observes). Returns kNoCore when the word's
+     * current value is committed data.
+     */
+    CoreId findForwardProducer(CoreId reader, Addr word,
+                               std::uint64_t &store_seq) const;
 
     friend class MachineTestPeer;
 };

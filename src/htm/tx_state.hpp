@@ -83,11 +83,18 @@ struct CoreTxState {
     /// speculative data, so the predecessor's abort cascades here).
     std::unordered_map<std::uint64_t, std::uint8_t> datmPreds;
 
+    /// DATM: word -> machine-global write seq of this attempt's latest
+    /// store to it. The forwarding-producer index: lets a forwarded
+    /// load name the producing store in O(block writers) instead of
+    /// scanning undo logs (htm::TMMachine::findForwardProducer).
+    std::unordered_map<Addr, std::uint64_t> datmStoreSeq;
+
     /// DATM: this attempt loaded a value forwarded from another
-    /// in-flight transaction. Surfaced on the commit provenance record
-    /// (trace::kCommitAuxDatmForwarded) because the reenactment
-    /// validator treats such commits as eager — the forwarding chain
-    /// itself is not re-derived (see docs/trace-format.md).
+    /// in-flight transaction (word-level value flow; every such load
+    /// also emitted a trace::EventKind::Forward record). Surfaced on
+    /// the commit provenance record (trace::kCommitAuxDatmForwarded)
+    /// so the reenactment validator knows to re-derive the attempt's
+    /// forwarding chain at commit (see docs/trace-format.md).
     bool datmForwardedRead = false;
 
     /// Pre-commit walk cursor.
@@ -127,6 +134,7 @@ struct CoreTxState {
         ssb.clear();
         permCache.clear();
         datmPreds.clear();
+        datmStoreSeq.clear();
         datmForwardedRead = false;
         overflowed = false;
         overflowPending = false;

@@ -118,6 +118,17 @@ struct TMConfig {
      * to catch them; must be 0 in real runs.
      */
     Word faultInjectRepairXor = 0;
+
+    /**
+     * Test-only fault injection for DATM: XORed into every forwarded
+     * word value before it is delivered to the consuming transaction
+     * (architectural memory keeps the producer's real value). Nonzero
+     * values model a corrupted forwarding path; the trace/reenact
+     * audit must catch the divergence when it re-derives the
+     * forwarding chain at the consumer's commit. Must be 0 in real
+     * runs.
+     */
+    Word faultInjectForwardXor = 0;
 };
 
 /** Observable machine events (used by the Figure 2 timeline bench). */

@@ -26,10 +26,17 @@ namespace retcon::trace {
 
 /** What happened. One enumerator per instrumentation point. */
 enum class EventKind : std::uint8_t {
-    TxBegin,     ///< Transaction (re)started; a = timestamp.
+    TxBegin,     ///< Transaction (re)started; a = timestamp,
+                 ///< b = attempt uid.
     Load,        ///< Concrete load; addr = byte address, a = value.
     SymLoad,     ///< Symbolic load; addr, a = value, sym = root+delta.
-    Store,       ///< Eager (non-symbolic) store; addr, a = value.
+    Store,       ///< Eager (non-symbolic) store; addr, a = value,
+                 ///< b = resulting word value, vid = write seq.
+    Forward,     ///< DATM forwarded-data load: the value came from
+                 ///< another in-flight transaction's speculative
+                 ///< store; addr = word, a = delivered word value,
+                 ///< b = producer attempt uid, vid = value-id of the
+                 ///< producing store (its machine-global write seq).
     SymStore,    ///< SSB insert/update; addr = word, a = concrete, sym.
     Freeze,      ///< Tracked word input fixed by a local eager store;
                  ///< addr = word, a = validated pre-store value.
@@ -54,10 +61,11 @@ const char *eventKindName(EventKind k);
 
 /**
  * Commit-record aux bit: the committing transaction consumed a value
- * forwarded from another in-flight transaction (DATM). The
- * reenactment validator checks such commits as if they were eager —
- * it does not re-derive the forwarding chain — so exports carry this
- * flag to keep the audit gap visible (docs/trace-format.md).
+ * forwarded from another in-flight transaction (DATM). Each such
+ * consumption also emitted a Forward record naming the producing
+ * attempt and store, so the reenactment validator re-derives the
+ * whole forwarding chain at commit instead of trusting architectural
+ * memory (docs/trace-format.md).
  */
 inline constexpr std::uint8_t kCommitAuxDatmForwarded = 0x1;
 
@@ -77,6 +85,11 @@ struct Record {
     /// different cores (and therefore different shard recorders)
     /// merge deterministically on this key.
     std::uint64_t seq = 0;
+    /// Value-id: the machine-global write sequence of the store this
+    /// record performs (Store) or consumes (Forward). Matches a
+    /// Forward record to the exact producing store so forwarding
+    /// chains re-derive without ambiguity; 0 for other kinds.
+    std::uint64_t vid = 0;
 };
 
 } // namespace retcon::trace

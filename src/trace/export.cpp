@@ -35,6 +35,10 @@ writeJsonRecord(const Record &r, std::ostream &os)
         os << ",\"sym\":{\"root\":" << r.sym.root
            << ",\"delta\":" << r.sym.delta << "}";
     }
+    if (r.vid != 0)
+        os << ",\"vid\":" << r.vid;
+    if (r.kind == EventKind::Forward)
+        os << ",\"producer_uid\":" << r.b;
     if (r.kind == EventKind::Constraint)
         os << ",\"cmp\":\"" << cmpOpName(r.cmp) << "\"";
     if (r.kind == EventKind::Abort)
@@ -61,14 +65,15 @@ writeCsvRecord(const Record &r, std::ostream &os)
        << (r.kind == EventKind::Commit &&
                    (r.aux & kCommitAuxDatmForwarded)
                ? 1
-               : 0);
+               : 0)
+       << ',' << r.vid;
 }
 
 const char *
 csvHeader()
 {
     return "cycle,core,kind,addr,a,b,sym_root,sym_delta,cmp,aux,seq,"
-           "datm_forwarded";
+           "datm_forwarded,vid";
 }
 
 std::size_t

@@ -12,6 +12,7 @@ eventKindName(EventKind k)
       case EventKind::Load: return "load";
       case EventKind::SymLoad: return "sym-load";
       case EventKind::Store: return "store";
+      case EventKind::Forward: return "forward";
       case EventKind::SymStore: return "sym-store";
       case EventKind::Freeze: return "freeze";
       case EventKind::Pin: return "pin";

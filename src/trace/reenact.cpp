@@ -17,6 +17,8 @@ mismatchName(Mismatch::What w)
       case Mismatch::What::Constraint: return "constraint";
       case Mismatch::What::PinValue: return "pin-value";
       case Mismatch::What::UndrainedStore: return "undrained-store";
+      case Mismatch::What::ForwardValue: return "forward-value";
+      case Mismatch::What::ForwardChain: return "forward-chain";
     }
     return "?";
 }
@@ -37,13 +39,16 @@ Mismatch::describe() const
 std::string
 ReenactReport::summary() const
 {
-    char buf[200];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "reenact: %" PRIu64 " commits, %" PRIu64 " repairs, %"
-                  PRIu64 " constraints, %" PRIu64 " pins checked; %"
-                  PRIu64 " mismatches",
+                  PRIu64 " constraints, %" PRIu64 " pins, %" PRIu64
+                  " forwards checked; %" PRIu64
+                  " forwarded commits re-derived, %" PRIu64
+                  " skipped; %" PRIu64 " mismatches",
                   commitsChecked, repairsChecked, constraintsChecked,
-                  pinsChecked, mismatches);
+                  pinsChecked, forwardsChecked, forwardedCommitsChecked,
+                  forwardedCommitsSkipped, mismatches);
     return buf;
 }
 
@@ -66,6 +71,7 @@ void
 ReenactmentValidator::reset()
 {
     _logs.clear();
+    _uidCore.clear();
     _report = ReenactReport{};
 }
 
@@ -136,9 +142,107 @@ ReenactmentValidator::checkRepair(TxLog &t, const Record &r)
 }
 
 void
+ReenactmentValidator::resolveForward(TxLog &t, const Record &r)
+{
+    // Records arrive in machine-global seq order, so the producing
+    // store — and, transitively, every upstream link of the chain —
+    // has already been processed when the Forward record lands: the
+    // producer's `writes` entry for this word is exactly the store
+    // the machine claims to have forwarded, iff the value-ids match.
+    // The verdict is held on the link and scored only if the
+    // consuming attempt commits (aborted attempts owe nothing).
+    FwdLink l;
+    l.cycle = r.cycle;
+    l.word = r.addr;
+    l.producerUid = r.b;
+    l.delivered = r.a;
+    auto uc = _uidCore.find(r.b);
+    if (uc != _uidCore.end()) {
+        TxLog &p = log(uc->second);
+        if (p.active && p.uid == r.b) {
+            auto w = p.writes.find(r.addr);
+            if (w != p.writes.end() && w->second.vid == r.vid) {
+                l.resolved = true;
+                l.derived = w->second.word;
+            }
+        }
+    }
+    t.links.push_back(l);
+}
+
+void
+ReenactmentValidator::poisonLinksFrom(std::uint64_t producer_uid)
+{
+    // The producer aborted: every value it forwarded is invalid. DATM
+    // must cascade-abort the consumers; one that commits anyway has a
+    // broken chain, which scoring the poisoned link will flag.
+    for (TxLog &t : _logs) {
+        if (!t.active)
+            continue;
+        for (FwdLink &l : t.links)
+            if (l.producerUid == producer_uid)
+                l.poisoned = true;
+    }
+}
+
+void
+ReenactmentValidator::checkForwardChain(TxLog &t, const Record &r)
+{
+    bool flagged = (r.aux & kCommitAuxDatmForwarded) != 0;
+    if (!flagged && t.links.empty())
+        return;
+    if (flagged && t.links.empty()) {
+        // The machine says this commit consumed forwarded data, but
+        // the stream carries no Forward record to re-derive it from.
+        // Cannot happen on a healthy machine; count the commit as
+        // skipped so reports can prove zero chains escaped the audit.
+        ++_report.forwardedCommitsSkipped;
+        flag(Mismatch{Mismatch::What::ForwardChain, r.cycle, r.core, 0,
+                      0, 0});
+        return;
+    }
+    if (!flagged) {
+        // Forward records without the commit flag: the machine lost
+        // track of its own forwarding. Flag, then still score links.
+        flag(Mismatch{Mismatch::What::ForwardChain, r.cycle, r.core,
+                      t.links.front().word, 0, 0});
+    } else {
+        ++_report.forwardedCommitsChecked;
+    }
+    for (const FwdLink &l : t.links) {
+        ++_report.forwardsChecked;
+        if (l.poisoned || !l.resolved) {
+            flag(Mismatch{Mismatch::What::ForwardChain, l.cycle, r.core,
+                          l.word, l.resolved ? l.derived : 0,
+                          l.delivered});
+            continue;
+        }
+        // DATM enforces commit order along dataflow edges: a consumer
+        // must not commit while a transaction it consumed data from
+        // is still in flight (the producer could yet abort — or
+        // commit after its consumer, inverting the serial order). A
+        // still-active producer here is a machine bug regardless of
+        // the producer's eventual fate, and checking it now is what
+        // lets the consumer's log be discarded at commit rather than
+        // retained until every producer resolves.
+        if (_uidCore.count(l.producerUid)) {
+            flag(Mismatch{Mismatch::What::ForwardChain, l.cycle, r.core,
+                          l.word, l.derived, l.delivered});
+            continue;
+        }
+        if (l.delivered != l.derived) {
+            flag(Mismatch{Mismatch::What::ForwardValue, l.cycle, r.core,
+                          l.word, l.derived, l.delivered});
+        }
+    }
+}
+
+void
 ReenactmentValidator::finishCommit(TxLog &t, const Record &r)
 {
     ++_report.commitsChecked;
+    checkForwardChain(t, r);
+    _uidCore.erase(t.uid);
 
     // A commit that never reached the drain phase (eager/serial modes,
     // or a retcon commit with no tracked state) has an empty log;
@@ -183,6 +287,9 @@ ReenactmentValidator::onEvent(const Record &r)
       case EventKind::TxBegin:
         t.clear();
         t.active = true;
+        t.uid = r.b;
+        if (t.uid != 0)
+            _uidCore[t.uid] = r.core;
         break;
 
       case EventKind::SymStore:
@@ -195,9 +302,19 @@ ReenactmentValidator::onEvent(const Record &r)
 
       case EventKind::Store:
         // An eager store to a word invalidates any pending symbolic
-        // store for it (Figure 8, time 10). Word granularity.
+        // store for it (Figure 8, time 10). Word granularity. The
+        // resulting word value + write seq are also logged so the
+        // attempt can act as a forwarding producer (DATM).
+        if (t.active) {
+            Addr word = r.addr & ~(kWordBytes - 1);
+            t.stores.erase(word);
+            t.writes[word] = WriteEnt{r.b, r.vid};
+        }
+        break;
+
+      case EventKind::Forward:
         if (t.active)
-            t.stores.erase(r.addr & ~(kWordBytes - 1));
+            resolveForward(t, r);
         break;
 
       case EventKind::Freeze:
@@ -236,6 +353,10 @@ ReenactmentValidator::onEvent(const Record &r)
 
       case EventKind::Abort:
         ++_report.abortsSeen;
+        if (t.active) {
+            poisonLinksFrom(t.uid);
+            _uidCore.erase(t.uid);
+        }
         t.clear();
         break;
 

@@ -61,6 +61,9 @@ ShardMux::onEvent(const Record &r)
       case EventKind::Repair:
         ++c.repairs;
         break;
+      case EventKind::Forward:
+        ++c.forwards;
+        break;
       default:
         break;
     }

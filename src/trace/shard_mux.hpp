@@ -45,6 +45,7 @@ class ShardMux final : public TraceSink
         std::uint64_t commits = 0;
         std::uint64_t aborts = 0;
         std::uint64_t repairs = 0;
+        std::uint64_t forwards = 0; ///< DATM forwarded-value loads.
         std::uint64_t datmForwardedCommits = 0;
     };
 

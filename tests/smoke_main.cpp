@@ -45,6 +45,7 @@ int
 main()
 {
     std::uint64_t retconRepairs = 0;
+    std::uint64_t datmChains = 0;
     for (htm::TMMode mode :
          {htm::TMMode::Serial, htm::TMMode::Eager, htm::TMMode::Lazy,
           htm::TMMode::LazyVB, htm::TMMode::Retcon, htm::TMMode::DATM}) {
@@ -65,12 +66,15 @@ main()
         const auto &audit = validator.report();
         std::printf(
             "%-8s final=%llu (want %d) cycles=%llu commits=%llu "
-            "aborts=%llu audit-repairs=%llu audit-mismatch=%llu\n",
+            "aborts=%llu audit-repairs=%llu audit-fwd=%llu/%llu "
+            "audit-mismatch=%llu\n",
             htm::tmModeName(mode), (unsigned long long)final,
             8 * kIters, (unsigned long long)end,
             (unsigned long long)agg.commits,
             (unsigned long long)agg.aborts,
             (unsigned long long)audit.repairsChecked,
+            (unsigned long long)audit.forwardedCommitsChecked,
+            (unsigned long long)audit.forwardedCommitsSkipped,
             (unsigned long long)audit.mismatches);
         if (final != Word(8 * kIters))
             return 1;
@@ -79,11 +83,24 @@ main()
                         audit.summary().c_str());
             return 1;
         }
+        if (audit.forwardedCommitsSkipped != 0) {
+            std::printf("audit skipped %llu forwarding chains\n",
+                        (unsigned long long)
+                            audit.forwardedCommitsSkipped);
+            return 1;
+        }
         if (mode == htm::TMMode::Retcon)
             retconRepairs = audit.repairsChecked;
+        if (mode == htm::TMMode::DATM)
+            datmChains = audit.forwardedCommitsChecked;
     }
     if (retconRepairs == 0) {
         std::printf("RETCON run repaired nothing — audit was vacuous\n");
+        return 1;
+    }
+    if (datmChains == 0) {
+        std::printf("DATM run forwarded nothing — the chain audit was "
+                    "vacuous\n");
         return 1;
     }
 

@@ -1,11 +1,13 @@
 // Development sweep driver: run every workload under the three paper
-// configurations, validate functional state, print speedups.
+// configurations plus DATM, validate functional state, print speedups.
 //
 // Usage: sweep_main [--quick] [--audit] [--shards N] [scale] [nthreads]
 //                   [workload]
 //   --quick     reduced-iteration mode for CI (small scale, 4 threads)
 //   --audit     attach the trace/reenact oracle to every run and fail
-//               on any commit the validator cannot re-derive
+//               on any commit the validator cannot re-derive — for
+//               DATM that includes re-deriving every forwarding chain
+//               (zero skipped chains required)
 //   --shards N  run with N event-queue shards (see docs/architecture.md;
 //               results are bit-identical for any N, which --audit
 //               re-proves commit by commit)
@@ -16,6 +18,34 @@
 #include "api/runner.hpp"
 
 using namespace retcon;
+
+namespace {
+
+/**
+ * The probed support envelope of the microbench-grade DATM mode.
+ * DATM's cascading aborts multiply the abort count far beyond the
+ * other modes, which breaks workloads in two ways outside these
+ * bounds: every aborted attempt leaks its arena bump advance by
+ * design (ds/sim_alloc.hpp), so unoptimized intruder (scale > 0.1)
+ * and service (scale > 0.5) exhaust their per-thread arenas; and
+ * yada's cascade storms stop converging inside the cycle bound
+ * beyond tiny inputs. The python interpreter mix livelocks at any
+ * scale — its long refcount transactions forward constantly and
+ * cascade-abort each other indefinitely.
+ */
+bool
+datmUnsupported(const std::string &name, double scale)
+{
+    if (name.rfind("python", 0) == 0)
+        return true;
+    if (name == "intruder" || name == "yada")
+        return scale > 0.1;
+    if (name == "service")
+        return scale > 0.5;
+    return false;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -64,10 +94,13 @@ main(int argc, char **argv)
 
     if (shards > 1)
         std::printf("event queue sharded %u ways\n", shards);
-    std::printf("%-18s %10s | %8s %8s %8s | ok\n", "workload",
-                "seq-cyc", "eager", "lazy-vb", "retcon");
+    std::printf("%-18s %10s | %8s %8s %8s %8s | ok\n", "workload",
+                "seq-cyc", "eager", "lazy-vb", "retcon", "datm");
     bool all_ok = true;
     unsigned ran = 0;
+    std::uint64_t chains_validated = 0;
+    std::uint64_t chains_skipped = 0;
+    std::uint64_t forward_links = 0;
     for (const auto &name : workloads::extendedWorkloadNames()) {
         if (only && name != only)
             continue;
@@ -83,7 +116,16 @@ main(int argc, char **argv)
         std::printf("%-18s %10llu |", name.c_str(),
                     (unsigned long long)seq);
         bool ok = true;
-        for (auto &[label, tm] : api::paperConfigs()) {
+        auto configs = api::paperConfigs();
+        htm::TMConfig datm = api::eagerConfig();
+        datm.mode = htm::TMMode::DATM;
+        configs.push_back({"datm", datm});
+        for (auto &[label, tm] : configs) {
+            if (tm.mode == htm::TMMode::DATM &&
+                datmUnsupported(name, scale)) {
+                std::printf(" %8s", "-");
+                continue;
+            }
             cfg.tm = tm;
             api::RunResult r = api::runOnce(cfg);
             double speedup = double(seq) / double(r.cycles);
@@ -96,6 +138,11 @@ main(int argc, char **argv)
                 ok = false;
                 std::printf("(AUDIT: %s)", r.reenact.summary().c_str());
             }
+            if (audit) {
+                chains_validated += r.reenact.forwardedCommitsChecked;
+                chains_skipped += r.reenact.forwardedCommitsSkipped;
+                forward_links += r.reenact.forwardsChecked;
+            }
             std::fflush(stdout);
         }
         std::printf(" | %s\n", ok ? "yes" : "NO");
@@ -105,6 +152,24 @@ main(int argc, char **argv)
         std::fprintf(stderr, "no workload matched '%s'\n",
                      only ? only : "");
         return 1;
+    }
+    if (audit) {
+        std::printf("audit: %llu datm-forwarded commits re-derived "
+                    "(%llu forward links), %llu skipped\n",
+                    (unsigned long long)chains_validated,
+                    (unsigned long long)forward_links,
+                    (unsigned long long)chains_skipped);
+        if (chains_skipped > 0) {
+            std::printf("FAIL: %llu forwarding chains escaped the "
+                        "audit\n",
+                        (unsigned long long)chains_skipped);
+            all_ok = false;
+        }
+        if (!only && chains_validated == 0) {
+            std::printf("FAIL: no forwarded commits were re-derived — "
+                        "the DATM chain audit was vacuous\n");
+            all_ok = false;
+        }
     }
     return all_ok ? 0 : 1;
 }

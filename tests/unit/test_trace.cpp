@@ -70,12 +70,14 @@ struct RunOutput {
 
 RunOutput
 runCounter(htm::TMMode mode, bool traced, Word fault_xor = 0,
-           bool bounded = false, trace::TraceRecorder *ring = nullptr)
+           bool bounded = false, trace::TraceRecorder *ring = nullptr,
+           Word fwd_fault_xor = 0)
 {
     ClusterConfig cfg;
     cfg.numThreads = kThreads;
     cfg.tm.mode = mode;
     cfg.tm.faultInjectRepairXor = fault_xor;
+    cfg.tm.faultInjectForwardXor = fwd_fault_xor;
     Cluster cluster(cfg);
     cluster.machine().predictor().observeConflict(blockAddr(kCounter));
 
@@ -284,9 +286,9 @@ TEST(TraceExport, JsonAndCsvCoverAllRetainedRecords)
 
 TEST(TraceDatm, ForwardedCommitsCarryTheDatmForwardedFlag)
 {
-    // The validator checks DATM commits as if they were eager (the
-    // forwarding chain is not re-derived). The gap is made visible by
-    // flagging every commit that consumed forwarded data.
+    // Every commit that consumed forwarded data is flagged, and every
+    // flagged commit's chain is re-derived by the validator (the
+    // Forward records name the producing attempt + store).
     trace::TraceRecorder ring(1 << 14);
     RunOutput out =
         runCounter(htm::TMMode::DATM, true, 0, false, &ring);
@@ -303,6 +305,9 @@ TEST(TraceDatm, ForwardedCommitsCarryTheDatmForwardedFlag)
     // The contended counter forwards constantly under DATM.
     EXPECT_GT(flagged, 0u);
     EXPECT_LT(flagged, commits); // Uncontended commits stay unflagged.
+    // The flag and the validator agree commit by commit.
+    EXPECT_EQ(out.report.forwardedCommitsChecked, flagged);
+    EXPECT_EQ(out.report.forwardedCommitsSkipped, 0u);
 
     // And the flag round-trips through the JSON export.
     std::ostringstream json;
@@ -311,6 +316,203 @@ TEST(TraceDatm, ForwardedCommitsCarryTheDatmForwardedFlag)
               std::string::npos);
     EXPECT_NE(json.str().find("\"datm_forwarded\":false"),
               std::string::npos);
+}
+
+TEST(TraceDatm, ForwardingChainsAreReDerived)
+{
+    // The tentpole guarantee: zero chains skipped, every forwarded
+    // read resolved against the producer's logged store — the audit
+    // is no longer "sound except on the interesting path".
+    RunOutput out = runCounter(htm::TMMode::DATM, true);
+    EXPECT_EQ(out.counter, Word(kThreads * kIters));
+    EXPECT_GT(out.report.forwardsChecked, 0u);
+    EXPECT_GT(out.report.forwardedCommitsChecked, 0u);
+    EXPECT_EQ(out.report.forwardedCommitsSkipped, 0u);
+    EXPECT_EQ(out.report.mismatches, 0u) << out.report.summary();
+}
+
+TEST(TraceDatm, ForwardRecordsNameProducerAndValueId)
+{
+    trace::TraceRecorder ring(1 << 14);
+    runCounter(htm::TMMode::DATM, true, 0, false, &ring);
+    std::uint64_t forwards = 0;
+    ring.forEach([&](const trace::Record &r) {
+        if (r.kind != trace::EventKind::Forward)
+            return;
+        ++forwards;
+        EXPECT_NE(r.b, 0u);   // Producer attempt uid.
+        EXPECT_NE(r.vid, 0u); // Producing store's write seq.
+        EXPECT_EQ(r.addr % kWordBytes, 0u);
+    });
+    EXPECT_GT(forwards, 0u);
+
+    // Forward records round-trip through the JSON export.
+    std::ostringstream json;
+    trace::exportJson(ring, json);
+    EXPECT_NE(json.str().find("\"kind\":\"forward\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"producer_uid\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"vid\":"), std::string::npos);
+}
+
+TEST(TraceDatm, CorruptedForwardedValueIsFlagged)
+{
+    // Fault-inject a bit flip into every forwarded value as it is
+    // delivered (architectural memory keeps the producer's real
+    // value). The machine commits regardless; only the chain
+    // re-derivation stands between the bug and silently wrong
+    // committed state. Do not assert the final counter here — the
+    // injected corruption really does poison the computed sums.
+    RunOutput out = runCounter(htm::TMMode::DATM, true, 0, false,
+                               nullptr, /*fwd_xor=*/0x20);
+    EXPECT_GT(out.report.forwardsChecked, 0u);
+    EXPECT_GT(out.report.mismatches, 0u);
+    ASSERT_FALSE(out.report.samples.empty());
+    EXPECT_EQ(out.report.samples[0].what,
+              trace::Mismatch::What::ForwardValue);
+    // expected ^ got must show exactly the injected fault.
+    EXPECT_EQ(out.report.samples[0].expected ^ out.report.samples[0].got,
+              Word(0x20));
+}
+
+TEST(TraceDatm, CleanModesNeverRecordForwards)
+{
+    for (htm::TMMode mode :
+         {htm::TMMode::Eager, htm::TMMode::Lazy, htm::TMMode::Retcon}) {
+        RunOutput out = runCounter(mode, true);
+        EXPECT_EQ(out.report.forwardsChecked, 0u)
+            << htm::tmModeName(mode);
+        EXPECT_EQ(out.report.forwardedCommitsChecked, 0u)
+            << htm::tmModeName(mode);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validator protocol checks on synthetic streams
+//
+// The machine enforces DATM commit order, so the broken interleavings
+// below can only be produced by a buggy machine — which is precisely
+// what the audit exists to catch. Feed the validator hand-crafted
+// record streams and pin each verdict.
+// ---------------------------------------------------------------------
+
+namespace {
+
+trace::Record
+rec(trace::EventKind kind, CoreId core, Addr addr = 0, Word a = 0,
+    Word b = 0, std::uint8_t aux = 0, std::uint64_t vid = 0)
+{
+    static std::uint64_t seq = 1;
+    trace::Record r;
+    r.kind = kind;
+    r.core = core;
+    r.addr = addr;
+    r.a = a;
+    r.b = b;
+    r.aux = aux;
+    r.vid = vid;
+    r.seq = seq++;
+    return r;
+}
+
+trace::ReenactmentValidator
+makeValidator()
+{
+    return trace::ReenactmentValidator([](Addr) { return Word(0); });
+}
+
+} // namespace
+
+TEST(TraceDatmProtocol, CleanHandoffValidates)
+{
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, /*uid=*/101));
+    v.onEvent(rec(trace::EventKind::Store, 0, 0x100, 7, 7, 0, 11));
+    v.onEvent(rec(trace::EventKind::TxBegin, 1, 0, 2, /*uid=*/102));
+    v.onEvent(rec(trace::EventKind::Forward, 1, 0x100, 7, 101, 0, 11));
+    v.onEvent(rec(trace::EventKind::Commit, 0)); // Producer first.
+    v.onEvent(rec(trace::EventKind::Commit, 1, 0, 0, 0,
+                  trace::kCommitAuxDatmForwarded));
+    EXPECT_EQ(v.report().mismatches, 0u) << v.report().summary();
+    EXPECT_EQ(v.report().forwardsChecked, 1u);
+    EXPECT_EQ(v.report().forwardedCommitsChecked, 1u);
+    EXPECT_EQ(v.report().forwardedCommitsSkipped, 0u);
+}
+
+TEST(TraceDatmProtocol, ConsumerCommitBeforeProducerResolvesIsFlagged)
+{
+    // The consumer commits while its producer is still in flight:
+    // DATM commit order violated, whatever the producer does later.
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, 101));
+    v.onEvent(rec(trace::EventKind::Store, 0, 0x100, 7, 7, 0, 11));
+    v.onEvent(rec(trace::EventKind::TxBegin, 1, 0, 2, 102));
+    v.onEvent(rec(trace::EventKind::Forward, 1, 0x100, 7, 101, 0, 11));
+    v.onEvent(rec(trace::EventKind::Commit, 1, 0, 0, 0,
+                  trace::kCommitAuxDatmForwarded));
+    EXPECT_EQ(v.report().mismatches, 1u);
+    ASSERT_FALSE(v.report().samples.empty());
+    EXPECT_EQ(v.report().samples[0].what,
+              trace::Mismatch::What::ForwardChain);
+}
+
+TEST(TraceDatmProtocol, ProducerAbortPoisonsConsumersLinks)
+{
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, 101));
+    v.onEvent(rec(trace::EventKind::Store, 0, 0x100, 7, 7, 0, 11));
+    v.onEvent(rec(trace::EventKind::TxBegin, 1, 0, 2, 102));
+    v.onEvent(rec(trace::EventKind::Forward, 1, 0x100, 7, 101, 0, 11));
+    v.onEvent(rec(trace::EventKind::Abort, 0)); // Producer dies...
+    v.onEvent(rec(trace::EventKind::Commit, 1, 0, 0, 0,
+                  trace::kCommitAuxDatmForwarded)); // ...consumer not.
+    EXPECT_EQ(v.report().mismatches, 1u);
+    ASSERT_FALSE(v.report().samples.empty());
+    EXPECT_EQ(v.report().samples[0].what,
+              trace::Mismatch::What::ForwardChain);
+}
+
+TEST(TraceDatmProtocol, ValueIdMismatchBreaksTheChain)
+{
+    // The Forward names a store the producer's log does not hold
+    // (wrong vid): the machine forwarded a value with no matching
+    // provenance.
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, 101));
+    v.onEvent(rec(trace::EventKind::Store, 0, 0x100, 7, 7, 0, 11));
+    v.onEvent(rec(trace::EventKind::TxBegin, 1, 0, 2, 102));
+    v.onEvent(rec(trace::EventKind::Forward, 1, 0x100, 7, 101, 0, 12));
+    v.onEvent(rec(trace::EventKind::Commit, 0));
+    v.onEvent(rec(trace::EventKind::Commit, 1, 0, 0, 0,
+                  trace::kCommitAuxDatmForwarded));
+    EXPECT_EQ(v.report().mismatches, 1u);
+    ASSERT_FALSE(v.report().samples.empty());
+    EXPECT_EQ(v.report().samples[0].what,
+              trace::Mismatch::What::ForwardChain);
+}
+
+TEST(TraceDatmProtocol, FlaggedCommitWithoutLinksCountsAsSkipped)
+{
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, 101));
+    v.onEvent(rec(trace::EventKind::Commit, 0, 0, 0, 0,
+                  trace::kCommitAuxDatmForwarded));
+    EXPECT_EQ(v.report().forwardedCommitsSkipped, 1u);
+    EXPECT_EQ(v.report().mismatches, 1u);
+}
+
+TEST(TraceDatmProtocol, LinksWithoutTheCommitFlagAreFlagged)
+{
+    auto v = makeValidator();
+    v.onEvent(rec(trace::EventKind::TxBegin, 0, 0, 1, 101));
+    v.onEvent(rec(trace::EventKind::Store, 0, 0x100, 7, 7, 0, 11));
+    v.onEvent(rec(trace::EventKind::TxBegin, 1, 0, 2, 102));
+    v.onEvent(rec(trace::EventKind::Forward, 1, 0x100, 7, 101, 0, 11));
+    v.onEvent(rec(trace::EventKind::Commit, 0));
+    v.onEvent(rec(trace::EventKind::Commit, 1)); // Flag lost.
+    EXPECT_EQ(v.report().mismatches, 1u);
+    // The links are still scored after the structural flag.
+    EXPECT_EQ(v.report().forwardsChecked, 1u);
 }
 
 TEST(TraceDatm, NonDatmCommitsNeverCarryTheFlag)

@@ -22,6 +22,9 @@ for doc in "$repo_root"/README.md "$repo_root"/docs/*.md; do
         case "$target" in
             *://*|mailto:*) continue ;;  # external
             '#'*) continue ;;            # same-file anchor
+            # GitHub UI routes (CI badge / workflow-run pages): real
+            # on github.com, never files in the tree.
+            *actions/workflows/*) continue ;;
             '') continue ;;
         esac
         path="${target%%#*}"             # strip fragment
