@@ -91,6 +91,68 @@ BM_SsbPutForward(benchmark::State &state)
 }
 BENCHMARK(BM_SsbPutForward);
 
+// ---------------------------------------------------------------------
+// Grown-structure lookups (unlimitedState sizing). These pin the win
+// from the small-map indices that replaced the linear scans: at
+// Table 1 sizes (16/32 entries) either is fine, but idealized-RETCON
+// runs grow the buffers far past that and made find()/invalidate()
+// the host-side hot path (ROADMAP perf item, closed in PR 4).
+// ---------------------------------------------------------------------
+
+static void
+BM_IvbFindGrown(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::array<Word, kWordsPerBlock> words{};
+    rtc::InitialValueBuffer ivb(SIZE_MAX);
+    for (Addr b = 0; b < n; ++b)
+        ivb.allocate(b * kBlockBytes, words);
+    Xoshiro rng(17);
+    for (auto _ : state) {
+        // Mix of hits and misses, like the txLoad fast path.
+        Addr b = rng.below(2 * n) * kBlockBytes;
+        benchmark::DoNotOptimize(ivb.find(b));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IvbFindGrown)->Arg(16)->Arg(256)->Arg(1024);
+
+static void
+BM_SsbInvalidateMiss(benchmark::State &state)
+{
+    // Every RETCON eager store probes the SSB for an entry to drop;
+    // almost all probes miss. The index makes the miss O(1).
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    rtc::SymbolicStoreBuffer ssb(SIZE_MAX);
+    for (Addr w = 0; w < n; ++w)
+        ssb.put(w * 8, w, rtc::SymTag{0x1000, 1, 8}, 8);
+    Xoshiro rng(19);
+    for (auto _ : state) {
+        Addr miss = (n + rng.below(1 << 20)) * 8;
+        ssb.invalidate(miss);
+        benchmark::DoNotOptimize(ssb.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsbInvalidateMiss)->Arg(32)->Arg(1024);
+
+static void
+BM_ConstraintSatisfied(benchmark::State &state)
+{
+    // satisfied() runs per eager store and per commit word.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    rtc::ConstraintBuffer cb(SIZE_MAX);
+    for (Addr r = 0; r < n; ++r)
+        cb.record(r * 8, rtc::CmpOp::GT, -1);
+    Xoshiro rng(23);
+    for (auto _ : state) {
+        Addr root = rng.below(2 * n) * 8;
+        benchmark::DoNotOptimize(cb.satisfied(root, 5));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConstraintSatisfied)->Arg(16)->Arg(512);
+
 static void
 BM_PredictorQuery(benchmark::State &state)
 {

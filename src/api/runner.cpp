@@ -66,6 +66,8 @@ runOnce(const RunConfig &cfg)
     ccfg.numShards = cfg.shards;
     ccfg.shardBandwidth = cfg.shardBandwidth;
     ccfg.shardWorkStealing = cfg.shardWorkStealing;
+    ccfg.memBanks = cfg.memBanks;
+    ccfg.timing.bankOccupancy = cfg.memBankOccupancy;
 
     exec::Cluster cluster(ccfg);
 
@@ -122,6 +124,21 @@ runOnce(const RunConfig &cfg)
             sum.repairs = mux->counters(s).repairs;
             sum.forwards = mux->counters(s).forwards;
         }
+        for (CoreId c = 0; c < cluster.numThreads(); ++c)
+            if (cluster.shardOf(c) == s)
+                sum.tokenWaits += cluster.machine().tokenWaits(c);
+    }
+
+    result.banks.resize(cluster.numBanks());
+    for (unsigned b = 0; b < cluster.numBanks(); ++b) {
+        BankSummary &sum = result.banks[b];
+        const auto &bs = cluster.memorySystem().bankStats(b);
+        sum.requests = bs.requests;
+        sum.stalled = bs.stalled;
+        sum.stallCycles = bs.stallCycles;
+        const auto &ts = cluster.machine().bankTokenStats(b);
+        sum.tokenAcquires = ts.acquires;
+        sum.tokenWaits = ts.waits;
     }
 
     if (validator) {

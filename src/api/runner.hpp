@@ -65,6 +65,18 @@ struct RunConfig {
     unsigned shards = 1;
     unsigned shardBandwidth = 0; ///< Events/cycle/shard; 0 = unlimited.
     bool shardWorkStealing = true;
+
+    /**
+     * Directory banks in the memory system (1..64). Performance-
+     * transparent (bit-identical results for any count) unless bank
+     * contention is modeled: memBankOccupancy models directory-bank
+     * queuing, tm.commitTokenArbitration models per-bank commit
+     * tokens (see docs/architecture.md).
+     */
+    unsigned memBanks = 1;
+
+    /** Cycles a directory bank is busy per request; 0 = unmodeled. */
+    Cycle memBankOccupancy = 0;
 };
 
 /** Per-shard outcome of a run (one entry per event-queue shard). */
@@ -84,6 +96,22 @@ struct ShardSummary {
     std::uint64_t traceEvents = 0;
     std::uint64_t repairs = 0;
     std::uint64_t forwards = 0; ///< DATM forwarded-value loads.
+
+    /// Commit-token waits charged to cores homed on this shard
+    /// (0 unless tm.commitTokenArbitration).
+    std::uint64_t tokenWaits = 0;
+};
+
+/** Per-directory-bank outcome of a run (one entry per memory bank). */
+struct BankSummary {
+    /// Directory occupancy (stall fields 0 unless memBankOccupancy).
+    std::uint64_t requests = 0;    ///< Misses served by this bank.
+    std::uint64_t stalled = 0;     ///< Requests that found it busy.
+    std::uint64_t stallCycles = 0; ///< Total slip cycles.
+
+    /// Commit-token arbitration (0 unless tm.commitTokenArbitration).
+    std::uint64_t tokenAcquires = 0; ///< Grants including this bank.
+    std::uint64_t tokenWaits = 0;    ///< NACKs blamed on this bank.
 };
 
 /** Everything a run produces. */
@@ -96,6 +124,9 @@ struct RunResult {
 
     /** One entry per event-queue shard. */
     std::vector<ShardSummary> shards;
+
+    /** One entry per directory bank (shard x bank crossbar columns). */
+    std::vector<BankSummary> banks;
 
     /**
      * Audit results (all-zero unless trace.enabled && validate).

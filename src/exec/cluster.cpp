@@ -26,7 +26,8 @@ Cluster::Cluster(const ClusterConfig &cfg)
     sim_assert(cfg.numShards >= 1 && cfg.numShards <= cfg.numThreads,
                "shard count out of range (1..numThreads)");
     _ms = std::make_unique<mem::MemorySystem>(cfg.numThreads, cfg.timing,
-                                              cfg.caches);
+                                              cfg.caches, cfg.memBanks);
+    _ms->setClock(&_eq); // Bank occupancy observes the global clock.
     _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, cfg.tm);
     _barrier = std::make_unique<Barrier>(cfg.numThreads);
     for (CoreId i = 0; i < cfg.numThreads; ++i)

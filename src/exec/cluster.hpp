@@ -54,6 +54,15 @@ struct ClusterConfig {
     bool shardWorkStealing = true;
 
     /**
+     * Directory banks in the memory system (1..64). Like the shard
+     * count, the bank count is performance-transparent unless bank
+     * contention is modeled (timing.bankOccupancy for directory
+     * occupancy, tm.commitTokenArbitration for commit tokens):
+     * simulated results are bit-identical for any value otherwise.
+     */
+    unsigned memBanks = 1;
+
+    /**
      * Optional provenance sink (non-owning; must outlive the cluster).
      * Null disables tracing entirely — the zero-cost default.
      */
@@ -79,6 +88,7 @@ class Cluster
     Core &core(CoreId i) { return *_cores[i]; }
     unsigned numThreads() const { return _cfg.numThreads; }
     unsigned numShards() const { return _cfg.numShards; }
+    unsigned numBanks() const { return _cfg.memBanks; }
     const ClusterConfig &config() const { return _cfg; }
 
     /** Home event-queue shard of core @p i (round-robin placement). */

@@ -87,6 +87,8 @@ TMMachine::TMMachine(const SimClock &clock, mem::MemorySystem &ms,
     for (unsigned i = 0; i < ms.numCores(); ++i)
         _cores.push_back(std::make_unique<CoreTxState>(
             _cfg, ms.cacheConfig().permOnly));
+    _bankTokens.resize(ms.numBanks());
+    _tokenWaitsByCore.assign(ms.numCores(), 0);
     _ms.setListener(this);
 }
 
@@ -255,6 +257,7 @@ TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec)
         _overflowTokenHolder = kNoCore;
     if (_lazyCommitToken == core)
         _lazyCommitToken = kNoCore;
+    releaseCommitTokens(core);
     _activeUids.erase(st.uid);
     st.resetSpeculation();
     ++_stats.aborts;
@@ -390,6 +393,7 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
     for (CoreId m : members) {
         CoreTxState &st = *_cores[m];
         st.undo.clear();
+        releaseCommitTokens(m);
         _activeUids.erase(st.uid);
         st.resetSpeculation();
         ++_stats.aborts;
@@ -558,6 +562,8 @@ TMMachine::txBegin(CoreId core, bool is_retry)
     CoreTxState &st = *_cores[core];
     sim_assert(st.status == TxStatus::Idle,
                "txBegin on active transaction (core %u)", core);
+    sim_assert(!st.commitTokensHeld,
+               "txBegin with commit tokens still held (core %u)", core);
 
     MemOpOutcome out;
     out.latency = _cfg.beginLatency;
@@ -1086,6 +1092,109 @@ TMMachine::earlyViolationAbort(CoreId core)
 }
 
 // ---------------------------------------------------------------------
+// Commit-token arbitration (per directory bank)
+// ---------------------------------------------------------------------
+
+std::uint64_t
+TMMachine::neededBankMask(CoreId core) const
+{
+    // Every block the commit protocol will write: the eager write set,
+    // the SSB drain targets, and tracked blocks the pre-commit walk
+    // reacquires for writing. Computed once at acquisition time — the
+    // write set only grows during commit with blocks already named
+    // here.
+    const CoreTxState &st = *_cores[core];
+    std::uint64_t mask = 0;
+    auto add = [&](Addr block) {
+        mask |= std::uint64_t(1) << _ms.bankOf(block);
+    };
+    for (Addr b : st.writeSet)
+        add(b);
+    for (const rtc::SsbEntry &e : st.ssb.entries())
+        add(blockAddr(e.word));
+    for (const rtc::IvbEntry &e : st.ivb.entries())
+        if (e.written)
+            add(e.block);
+    return mask;
+}
+
+bool
+TMMachine::acquireCommitTokens(CoreId core)
+{
+    CoreTxState &st = *_cores[core];
+    if (st.commitTokensHeld)
+        return true;
+    if (!st.commitBankMaskValid) {
+        st.commitBankMask = neededBankMask(core);
+        st.commitBankMaskValid = true;
+    }
+    std::uint64_t need = st.commitBankMask;
+    std::uint64_t req_ts = effectiveTs(core, true);
+
+    // All-or-nothing, oldest-wins. An older holder makes us wait; a
+    // younger holder is aborted (it releases its tokens and retries),
+    // exactly mirroring the block-level conflict policy. Waits
+    // therefore only ever run younger -> older, so the oldest
+    // committer always progresses and arbitration cannot deadlock.
+    for (unsigned b = 0; b < _bankTokens.size(); ++b) {
+        if (!((need >> b) & 1))
+            continue;
+        CoreId h = _bankTokens[b].holder;
+        if (h == kNoCore || h == core)
+            continue;
+        if (effectiveTs(h, true) < req_ts) {
+            ++_stats.tokenWaits;
+            ++_bankTokens[b].stats.waits;
+            ++_tokenWaitsByCore[core];
+            emitTrace(core, "token-wait", b, h);
+            audit(core, trace::EventKind::TokenWait, b, h, need);
+            return false;
+        }
+    }
+    // Evict younger holders first (doAbort releases their tokens),
+    // then take every needed bank — never assign tokens partially.
+    for (unsigned b = 0; b < _bankTokens.size(); ++b) {
+        if (!((need >> b) & 1))
+            continue;
+        CoreId h = _bankTokens[b].holder;
+        if (h != kNoCore && h != core) {
+            ++_stats.tokenSteals;
+            doAbort(h, AbortCause::Conflict, true);
+        }
+    }
+    if (!st.active()) {
+        // Defensive: a cascade from aborting a holder reached us
+        // (cannot happen — commit-order waits resolve every
+        // predecessor first — but never hand tokens to an idle
+        // transaction).
+        return false;
+    }
+    for (unsigned b = 0; b < _bankTokens.size(); ++b) {
+        if (!((need >> b) & 1))
+            continue;
+        _bankTokens[b].holder = core;
+        ++_bankTokens[b].stats.acquires;
+    }
+    st.heldBankMask = need;
+    st.commitTokensHeld = true;
+    ++_stats.tokenAcquires;
+    return true;
+}
+
+void
+TMMachine::releaseCommitTokens(CoreId core)
+{
+    CoreTxState &st = *_cores[core];
+    if (!st.commitTokensHeld)
+        return;
+    for (unsigned b = 0; b < _bankTokens.size(); ++b)
+        if (((st.heldBankMask >> b) & 1) && _bankTokens[b].holder == core)
+            _bankTokens[b].holder = kNoCore;
+    st.heldBankMask = 0;
+    st.commitTokensHeld = false;
+}
+
+// ---------------------------------------------------------------------
 // Commit
 // ---------------------------------------------------------------------
 
@@ -1141,6 +1250,16 @@ TMMachine::commitStep(CoreId core, bool is_retry)
                 }
             }
         }
+        // Tokens are requested only after every commit-order
+        // predecessor resolved (DATM), so a token holder can never be
+        // waiting on the requester.
+        if (_cfg.commitTokenArbitration && _cfg.mode != TMMode::Serial &&
+            !acquireCommitTokens(core)) {
+            out.status = OpStatus::Nack;
+            out.latency = _cfg.nackRetryCycles;
+            st.commitCycles += out.latency;
+            return out;
+        }
         if (st.commitPhase == 0) {
             st.commitPhase = 3;
             out.latency = _cfg.commitTokenLatency;
@@ -1166,6 +1285,12 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
     CommitStepOutcome out;
 
     if (st.commitPhase == 0) {
+        if (_cfg.commitTokenArbitration && !acquireCommitTokens(core)) {
+            out.status = OpStatus::Nack;
+            out.latency = _cfg.nackRetryCycles;
+            st.commitCycles += out.latency;
+            return out;
+        }
         st.commitPhase = 1;
         st.commitIvbIdx = 0;
         st.commitSsbIdx = 0;
@@ -1388,6 +1513,7 @@ TMMachine::finalizeCommit(CoreId core)
         _overflowTokenHolder = kNoCore;
     if (_lazyCommitToken == core)
         _lazyCommitToken = kNoCore;
+    releaseCommitTokens(core);
     _activeUids.erase(st.uid);
 
     // The forwarded-data flag must be read before resetSpeculation()

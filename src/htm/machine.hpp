@@ -51,6 +51,12 @@ struct MachineStats {
                                 ///< (an in-flight producer's store).
     std::uint64_t abortsLazyValueMismatch = 0; ///< Equality-bit misses.
 
+    /// Commit-token arbitration (0 unless modeled).
+    std::uint64_t tokenAcquires = 0; ///< Successful multi-bank grabs.
+    std::uint64_t tokenWaits = 0;    ///< NACKed acquisition attempts.
+    std::uint64_t tokenSteals = 0;   ///< Younger holders aborted by an
+                                     ///< older committer (oldest-wins).
+
     AvgMax blocksLost;
     AvgMax blocksTracked;
     AvgMax symRegs;
@@ -182,6 +188,23 @@ class TMMachine : public mem::CoherenceListener
     mem::MemorySystem &memorySystem() { return _ms; }
     CoreTxState &coreState(CoreId core) { return *_cores[core]; }
 
+    /** Per-bank commit-token counters (all zero unless arbitration
+     *  is modeled — TMConfig::commitTokenArbitration). */
+    struct BankTokenStats {
+        std::uint64_t acquires = 0; ///< Grants that included this bank.
+        std::uint64_t waits = 0;    ///< NACKs blamed on this bank.
+    };
+    const BankTokenStats &bankTokenStats(unsigned bank) const
+    {
+        return _bankTokens[bank].stats;
+    }
+
+    /** Commit-token waits charged to @p core (for shard summaries). */
+    std::uint64_t tokenWaits(CoreId core) const
+    {
+        return _tokenWaitsByCore[core];
+    }
+
   private:
     const SimClock &_eq;
     mem::MemorySystem &_ms;
@@ -202,6 +225,14 @@ class TMMachine : public mem::CoherenceListener
     CoreId _serialLockHolder = kNoCore;
     CoreId _overflowTokenHolder = kNoCore;
     CoreId _lazyCommitToken = kNoCore;
+
+    /// Per-directory-bank commit tokens (modeled arbitration only).
+    struct BankToken {
+        CoreId holder = kNoCore;
+        BankTokenStats stats;
+    };
+    std::vector<BankToken> _bankTokens;
+    std::vector<std::uint64_t> _tokenWaitsByCore;
 
     /// DATM: uid -> core for still-active attempts.
     std::unordered_map<std::uint64_t, CoreId> _activeUids;
@@ -228,6 +259,20 @@ class TMMachine : public mem::CoherenceListener
 
     /** Roll back and reset @p core's transaction. */
     void doAbort(CoreId core, AbortCause cause, bool notify_exec);
+
+    /** Directory banks @p core's commit will write (token set). */
+    std::uint64_t neededBankMask(CoreId core) const;
+
+    /**
+     * Try to acquire every commit token in @p core's needed bank set,
+     * all-or-nothing. Oldest-wins: younger holders are aborted, an
+     * older holder makes the requester NACK. @return true when all
+     * tokens are held and the commit may proceed.
+     */
+    bool acquireCommitTokens(CoreId core);
+
+    /** Release @p core's commit tokens (commit completion or abort). */
+    void releaseCommitTokens(CoreId core);
 
     /** DATM: abort @p core and all transitive successors. */
     void datmAbortCascade(CoreId core, AbortCause cause, bool notify_exec);

@@ -97,6 +97,20 @@ struct CoreTxState {
     /// forwarding chain at commit (see docs/trace-format.md).
     bool datmForwardedRead = false;
 
+    /// Per-bank commit tokens held by this commit (bit = bank index).
+    /// Managed explicitly by TMMachine::{acquire,release}CommitTokens —
+    /// released on commit and on abort, never by resetSpeculation.
+    std::uint64_t heldBankMask = 0;
+    bool commitTokensHeld = false;
+
+    /// Needed-bank mask cached across NACKed acquisition attempts:
+    /// the commit's write targets are fixed once it reaches its
+    /// commit point, so the mask is computed on the first attempt
+    /// only (a contended token can be re-requested tens of thousands
+    /// of times per run). Derived data — cleared by resetSpeculation.
+    std::uint64_t commitBankMask = 0;
+    bool commitBankMaskValid = false;
+
     /// Pre-commit walk cursor.
     int commitPhase = 0;
     std::size_t commitIvbIdx = 0;
@@ -136,6 +150,8 @@ struct CoreTxState {
         datmPreds.clear();
         datmStoreSeq.clear();
         datmForwardedRead = false;
+        commitBankMask = 0;
+        commitBankMaskValid = false;
         overflowed = false;
         overflowPending = false;
         commitPhase = 0;

@@ -99,6 +99,24 @@ struct TMConfig {
     Cycle nackRetryCycles = 25;   ///< Backoff before retrying a NACK.
     Cycle beginLatency = 2;       ///< Transaction begin overhead.
     Cycle commitTokenLatency = 2; ///< Baseline commit overhead.
+
+    /**
+     * Model commit-token arbitration against the memory system's
+     * directory banks: a commit must hold the commit token of every
+     * bank its write set touches before it may enter the commit
+     * protocol, so commits touching disjoint banks proceed in parallel
+     * while same-bank commits serialize. Token conflicts resolve
+     * oldest-wins (an older committer aborts a younger token holder;
+     * a younger requester NACKs), which keeps every wait younger->older
+     * and therefore deadlock-free. Off (the default) reproduces the
+     * PR-3 implicit arbiter: acquisition always succeeds after
+     * commitTokenLatency, making results independent of the bank
+     * count. Lazy (TCC) mode keeps its single global commit token
+     * either way — committer-wins drains are not undo-logged, so a
+     * mid-drain abort (possible only with concurrent committers) would
+     * corrupt memory.
+     */
+    bool commitTokenArbitration = false;
     Cycle abortRollbackCycles = 0; ///< §2: zero-cycle rollback baseline.
     Cycle serialLockLatency = 40; ///< Global-lock handoff (Serial mode).
 

@@ -1,11 +1,20 @@
 /**
  * @file
- * Directory-based coherence bookkeeping (MSI states, Table 1 machine).
+ * Banked directory-based coherence bookkeeping (MSI states, Table 1
+ * machine).
  *
  * One directory entry per coherence block: Invalid (no cached copy),
  * Shared (read-only copies in `sharers`), or Modified (one owning core).
  * State transitions are applied atomically at request time; the latency
  * of the corresponding protocol messages is computed by MemorySystem.
+ *
+ * The directory is split into N address-interleaved banks (block index
+ * modulo bank count), mirroring how the event queue is sharded: bank
+ * state is purely a partition of the block->entry map, so the bank
+ * count never changes protocol behaviour — it only gives MemorySystem
+ * a structural unit to model occupancy and queuing against, and gives
+ * the TM machine a unit of commit-token arbitration. With one bank the
+ * structure is exactly the PR-3 monolithic directory.
  */
 
 #ifndef RETCON_MEM_DIRECTORY_HPP
@@ -13,6 +22,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/logging.hpp"
 #include "sim/types.hpp"
@@ -29,8 +39,12 @@ struct DirEntry {
     std::uint64_t sharers = 0;
 };
 
-/** The full-machine directory. */
-class Directory
+/**
+ * One address-interleaved directory bank: the block->entry map for the
+ * slice of the address space homed here. Pure state — occupancy and
+ * queuing are modeled by MemorySystem, commit tokens by the TM machine.
+ */
+class DirectoryBank
 {
   public:
     /** Look up (never creating) the entry for @p block. */
@@ -43,6 +57,80 @@ class Directory
 
     /** Mutable entry for @p block, created Invalid on first touch. */
     DirEntry &entry(Addr block) { return _entries[block]; }
+
+    /** Remove @p core from the sharer/owner info (eviction). */
+    void
+    dropCore(Addr block, CoreId core)
+    {
+        auto it = _entries.find(block);
+        if (it == _entries.end())
+            return;
+        DirEntry &e = it->second;
+        if (e.state == DirState::Modified && e.owner == core) {
+            e.state = DirState::Invalid;
+            e.owner = kNoCore;
+        } else if (e.state == DirState::Shared) {
+            e.sharers &= ~(std::uint64_t(1) << core);
+            if (e.sharers == 0)
+                e.state = DirState::Invalid;
+        }
+    }
+
+    std::size_t numEntries() const { return _entries.size(); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> _entries;
+};
+
+/** The full-machine directory: N address-interleaved banks. */
+class Directory
+{
+  public:
+    /** At most 64 banks (commit-token sets are 64-bit masks). */
+    static constexpr unsigned kMaxBanks = 64;
+
+    explicit Directory(unsigned num_banks = 1) : _banks(num_banks)
+    {
+        sim_assert(num_banks >= 1 && num_banks <= kMaxBanks,
+                   "directory bank count out of range (1..%u)",
+                   kMaxBanks);
+    }
+
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(_banks.size());
+    }
+
+    /**
+     * Home bank of @p block. The block index is mixed (Fibonacci
+     * multiplicative hash) before the modulo so strided or clustered
+     * hot sets — Zipfian hashtable buckets, queue heads — spread
+     * across banks instead of camping on one; a plain low-order
+     * interleave left one bank carrying most of the service
+     * workload's stall cycles.
+     */
+    unsigned
+    bankOf(Addr block) const
+    {
+        std::uint64_t idx = block / kBlockBytes;
+        idx *= 0x9E3779B97F4A7C15ull;
+        return static_cast<unsigned>((idx >> 32) % _banks.size());
+    }
+
+    DirectoryBank &bank(unsigned b) { return _banks[b]; }
+    const DirectoryBank &bank(unsigned b) const { return _banks[b]; }
+
+    DirEntry
+    lookup(Addr block) const
+    {
+        return _banks[bankOf(block)].lookup(block);
+    }
+
+    DirEntry &
+    entry(Addr block)
+    {
+        return _banks[bankOf(block)].entry(block);
+    }
 
     /** True when @p core holds a readable copy per the directory. */
     bool
@@ -68,24 +156,21 @@ class Directory
     void
     dropCore(Addr block, CoreId core)
     {
-        auto it = _entries.find(block);
-        if (it == _entries.end())
-            return;
-        DirEntry &e = it->second;
-        if (e.state == DirState::Modified && e.owner == core) {
-            e.state = DirState::Invalid;
-            e.owner = kNoCore;
-        } else if (e.state == DirState::Shared) {
-            e.sharers &= ~(std::uint64_t(1) << core);
-            if (e.sharers == 0)
-                e.state = DirState::Invalid;
-        }
+        _banks[bankOf(block)].dropCore(block, core);
     }
 
-    std::size_t numEntries() const { return _entries.size(); }
+    /** Entries across all banks. */
+    std::size_t
+    numEntries() const
+    {
+        std::size_t n = 0;
+        for (const DirectoryBank &b : _banks)
+            n += b.numEntries();
+        return n;
+    }
 
   private:
-    std::unordered_map<Addr, DirEntry> _entries;
+    std::vector<DirectoryBank> _banks;
 };
 
 } // namespace retcon::mem

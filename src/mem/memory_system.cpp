@@ -1,18 +1,46 @@
 #include "mem/memory_system.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 
 namespace retcon::mem {
 
 MemorySystem::MemorySystem(unsigned num_cores, const MemTimingConfig &timing,
-                           const CacheConfig &caches)
-    : _numCores(num_cores), _timing(timing), _cacheConfig(caches)
+                           const CacheConfig &caches, unsigned num_banks)
+    : _numCores(num_cores), _timing(timing), _cacheConfig(caches),
+      _directory(num_banks)
 {
     sim_assert(num_cores >= 1 && num_cores <= 64,
                "directory sharer mask supports at most 64 cores");
     _cores.reserve(num_cores);
     for (unsigned i = 0; i < num_cores; ++i)
         _cores.emplace_back(caches);
+    _bankFreeAt.assign(num_banks, 0);
+    _bankStats.resize(num_banks);
+}
+
+Cycle
+MemorySystem::bankVisit(Addr block)
+{
+    unsigned bank = _directory.bankOf(block);
+    BankStats &bs = _bankStats[bank];
+    ++bs.requests;
+    if (_timing.bankOccupancy == 0 || !_clock)
+        return 0;
+    // The request reaches the directory one hop after issue; the bank
+    // services requests back to back, `bankOccupancy` cycles each.
+    Cycle arrive = _clock->now() + _timing.l1Hit + _timing.l2Hit +
+                   _timing.hop;
+    Cycle start = std::max(arrive, _bankFreeAt[bank]);
+    _bankFreeAt[bank] = start + _timing.bankOccupancy;
+    Cycle stall = start - arrive;
+    if (stall > 0) {
+        ++bs.stalled;
+        bs.stallCycles += stall;
+        _stats.add("bank_stalls");
+    }
+    return stall;
 }
 
 bool
@@ -134,6 +162,9 @@ MemorySystem::access(CoreId core, Addr block, bool is_write)
     }
 
     _stats.add(is_write ? "write_misses" : "read_misses");
+    // The miss visits the block's home directory bank; a busy bank
+    // slips the request (0 when occupancy is unmodeled).
+    res.latency += bankVisit(block);
     DirEntry pre = _directory.lookup(block);
 
     if (is_write) {

@@ -37,6 +37,19 @@ struct MemTimingConfig {
     Cycle l2Hit = 10;
     Cycle hop = 20;      ///< Directory/interconnect hop.
     Cycle dram = 100;    ///< DRAM lookup.
+
+    /**
+     * Cycles a directory bank is occupied servicing one request
+     * (0 = occupancy unmodeled, the PR-3 behaviour). With a nonzero
+     * occupancy, a request that reaches a bank still busy with an
+     * earlier request slips until the bank frees up — the stall is
+     * added to the access latency and counted in the bank stats. This
+     * is the serialization a monolithic (1-bank) directory suffers and
+     * banking removes; with occupancy unmodeled the bank count is
+     * performance-transparent and results are bit-identical for any
+     * value.
+     */
+    Cycle bankOccupancy = 0;
 };
 
 /** Cache geometry parameters, defaults per Table 1. */
@@ -82,11 +95,26 @@ struct AccessResult {
 class MemorySystem
 {
   public:
+    /** Per-bank request/occupancy counters (see MemTimingConfig). */
+    struct BankStats {
+        std::uint64_t requests = 0;    ///< Directory visits (misses).
+        std::uint64_t stalled = 0;     ///< Requests that found the bank busy.
+        std::uint64_t stallCycles = 0; ///< Total slip cycles.
+    };
+
     MemorySystem(unsigned num_cores, const MemTimingConfig &timing = {},
-                 const CacheConfig &caches = {});
+                 const CacheConfig &caches = {}, unsigned num_banks = 1);
 
     /** Register the (single) HTM-side listener. */
     void setListener(CoherenceListener *l) { _listener = l; }
+
+    /**
+     * Observe @p clock for bank-occupancy modeling (non-owning; null
+     * detaches). Only read when MemTimingConfig::bankOccupancy is
+     * nonzero — with occupancy unmodeled the clock is never consulted
+     * and timing is clock-independent.
+     */
+    void setClock(const SimClock *clock) { _clock = clock; }
 
     /**
      * Perform a timed coherence access by @p core to @p block.
@@ -114,8 +142,15 @@ class MemorySystem
     const SparseMemory &memory() const { return _memory; }
 
     Directory &directory() { return _directory; }
+    const Directory &directory() const { return _directory; }
 
     unsigned numCores() const { return _numCores; }
+
+    /** Directory bank count (1 = monolithic). */
+    unsigned numBanks() const { return _directory.numBanks(); }
+
+    /** Home directory bank of @p block. */
+    unsigned bankOf(Addr block) const { return _directory.bankOf(block); }
 
     const MemTimingConfig &timing() const { return _timing; }
 
@@ -123,6 +158,9 @@ class MemorySystem
 
     /** Aggregate access statistics (hits/misses/transfers). */
     const StatSet &stats() const { return _stats; }
+
+    /** Request/occupancy counters for bank @p b. */
+    const BankStats &bankStats(unsigned b) const { return _bankStats[b]; }
 
   private:
     struct CoreCaches {
@@ -141,13 +179,24 @@ class MemorySystem
     Directory _directory;
     std::vector<CoreCaches> _cores;
     CoherenceListener *_listener = nullptr;
+    const SimClock *_clock = nullptr;
     StatSet _stats;
+
+    /// Bank-occupancy model: per-bank busy-until cycle + counters.
+    std::vector<Cycle> _bankFreeAt;
+    std::vector<BankStats> _bankStats;
 
     /** Install @p block into @p core's L1+L2, handling evictions. */
     void fill(CoreId core, Addr block);
 
     /** Invalidate remote copies for a write by @p core. */
     void invalidateRemotes(CoreId core, Addr block);
+
+    /**
+     * Account a directory visit for @p block's home bank and @return
+     * the occupancy stall (0 when unmodeled or the bank is free).
+     */
+    Cycle bankVisit(Addr block);
 };
 
 } // namespace retcon::mem

@@ -15,6 +15,7 @@
 #define RETCON_RETCON_CONSTRAINT_BUFFER_HPP
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,7 @@ class ConstraintBuffer
         if (!iv) {
             if (_entries.size() >= _capacity)
                 return Record::Full;
+            _index.emplace(root, _entries.size());
             _entries.emplace_back(root, Interval{});
             iv = &_entries.back().second;
         }
@@ -76,23 +78,23 @@ class ConstraintBuffer
         return Record::Ok;
     }
 
-    /** Interval currently constraining @p root, or nullptr. */
+    /** Interval currently constraining @p root, or nullptr. O(1) via
+     *  the root index — satisfied() runs per store and per commit
+     *  word, where the scan this replaces was the hot path. */
     Interval *
     find(Addr root)
     {
-        for (auto &[a, iv] : _entries)
-            if (a == root)
-                return &iv;
-        return nullptr;
+        auto it = _index.find(root);
+        return it == _index.end() ? nullptr
+                                  : &_entries[it->second].second;
     }
 
     const Interval *
     find(Addr root) const
     {
-        for (const auto &[a, iv] : _entries)
-            if (a == root)
-                return &iv;
-        return nullptr;
+        auto it = _index.find(root);
+        return it == _index.end() ? nullptr
+                                  : &_entries[it->second].second;
     }
 
     /** True when @p value satisfies all constraints on @p root. */
@@ -112,11 +114,18 @@ class ConstraintBuffer
         return _entries;
     }
 
-    void clear() { _entries.clear(); }
+    void
+    clear()
+    {
+        _entries.clear();
+        _index.clear();
+    }
 
   private:
     std::size_t _capacity;
     std::vector<std::pair<Addr, Interval>> _entries;
+    /// root -> position in _entries (append-only until clear()).
+    std::unordered_map<Addr, std::size_t> _index;
 };
 
 } // namespace retcon::rtc

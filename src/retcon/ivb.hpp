@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/logging.hpp"
@@ -56,23 +57,21 @@ class InitialValueBuffer
         : _capacity(capacity)
     {}
 
-    /** Find the entry for @p block, or nullptr. */
+    /** Find the entry for @p block, or nullptr. O(1) via the index
+     *  (the scan this replaces was hot once unlimitedState grew the
+     *  buffer past its Table 1 size — see bench/micro_structures). */
     IvbEntry *
     find(Addr block)
     {
-        for (auto &e : _entries)
-            if (e.block == block)
-                return &e;
-        return nullptr;
+        auto it = _index.find(block);
+        return it == _index.end() ? nullptr : &_entries[it->second];
     }
 
     const IvbEntry *
     find(Addr block) const
     {
-        for (const auto &e : _entries)
-            if (e.block == block)
-                return &e;
-        return nullptr;
+        auto it = _index.find(block);
+        return it == _index.end() ? nullptr : &_entries[it->second];
     }
 
     /** True when no further blocks can be tracked. */
@@ -93,6 +92,7 @@ class InitialValueBuffer
         e.block = block;
         e.initWords = words;
         e.curWords = words;
+        _index.emplace(block, _entries.size());
         _entries.push_back(e);
         return &_entries.back();
     }
@@ -114,11 +114,19 @@ class InitialValueBuffer
         return n;
     }
 
-    void clear() { _entries.clear(); }
+    void
+    clear()
+    {
+        _entries.clear();
+        _index.clear();
+    }
 
   private:
     std::size_t _capacity;
     std::vector<IvbEntry> _entries;
+    /// block -> position in _entries (entries are never erased
+    /// individually, so positions are stable until clear()).
+    std::unordered_map<Addr, std::size_t> _index;
 };
 
 } // namespace retcon::rtc

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "retcon/symbolic.hpp"
@@ -41,22 +42,21 @@ class SymbolicStoreBuffer
         : _capacity(capacity)
     {}
 
+    /** O(1) via the word index; the common miss (most loads/stores
+     *  touch words with no pending symbolic store) costs one hash
+     *  probe instead of a full scan. */
     SsbEntry *
     find(Addr word)
     {
-        for (auto &e : _entries)
-            if (e.word == word)
-                return &e;
-        return nullptr;
+        auto it = _index.find(word);
+        return it == _index.end() ? nullptr : &_entries[it->second];
     }
 
     const SsbEntry *
     find(Addr word) const
     {
-        for (const auto &e : _entries)
-            if (e.word == word)
-                return &e;
-        return nullptr;
+        auto it = _index.find(word);
+        return it == _index.end() ? nullptr : &_entries[it->second];
     }
 
     bool full() const { return _entries.size() >= _capacity; }
@@ -82,20 +82,30 @@ class SymbolicStoreBuffer
         }
         if (full())
             return Put::Full;
+        _index.emplace(word, _entries.size());
         _entries.push_back(SsbEntry{word, concrete, sym, size});
         return Put::Inserted;
     }
 
-    /** Drop the entry for @p word (overwritten by a normal store). */
+    /**
+     * Drop the entry for @p word (overwritten by a normal store).
+     * The erase preserves insertion order (the commit drain order), so
+     * later positions shift down and the index is fixed up — O(n), but
+     * only on an actual hit; the hot no-entry case is one hash probe.
+     */
     void
     invalidate(Addr word)
     {
-        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
-            if (it->word == word) {
-                _entries.erase(it);
-                return;
-            }
-        }
+        auto it = _index.find(word);
+        if (it == _index.end())
+            return;
+        std::size_t pos = it->second;
+        _entries.erase(_entries.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+        _index.erase(it);
+        for (auto &[w, p] : _index)
+            if (p > pos)
+                --p;
     }
 
     /** Entries in insertion order (the commit drain order). */
@@ -105,11 +115,19 @@ class SymbolicStoreBuffer
     std::size_t size() const { return _entries.size(); }
     std::size_t capacity() const { return _capacity; }
 
-    void clear() { _entries.clear(); }
+    void
+    clear()
+    {
+        _entries.clear();
+        _index.clear();
+    }
 
   private:
     std::size_t _capacity;
     std::vector<SsbEntry> _entries;
+    /// word -> position in _entries, kept in step with every
+    /// put/invalidate (see invalidate for the erase fix-up).
+    std::unordered_map<Addr, std::size_t> _index;
 };
 
 } // namespace retcon::rtc

@@ -45,7 +45,15 @@ enum class EventKind : std::uint8_t {
     Constraint,  ///< Interval constraint recorded; addr = root word,
                  ///< a = rhs (as signed), cmp = operator.
     BlockLost,   ///< Tracked block stolen mid-transaction; addr = block.
-    CommitStart, ///< Commit process entered (token acquired).
+    CommitStart, ///< Commit process entered. With commit-token
+                 ///< arbitration modeled, token acquisition happens
+                 ///< after this record — TokenWait records for the
+                 ///< same attempt may follow it.
+    TokenWait,   ///< Commit stalled on a directory-bank commit token;
+                 ///< addr = bank index, a = holding core, b = the
+                 ///< full bank mask the commit needs. Emitted once per
+                 ///< NACKed acquisition attempt; informational for the
+                 ///< validator (token waits carry no value flow).
     CommitDrain, ///< Pre-commit walk done, all tracked blocks
                  ///< reacquired and protected; the SSB drain begins.
     Repair,      ///< Commit-time repaired store; addr = word,

@@ -19,6 +19,7 @@ eventKindName(EventKind k)
       case EventKind::Constraint: return "constraint";
       case EventKind::BlockLost: return "block-lost";
       case EventKind::CommitStart: return "commit-start";
+      case EventKind::TokenWait: return "token-wait";
       case EventKind::CommitDrain: return "commit-drain";
       case EventKind::Repair: return "repair";
       case EventKind::Commit: return "commit";

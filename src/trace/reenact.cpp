@@ -364,6 +364,7 @@ ReenactmentValidator::onEvent(const Record &r)
       case EventKind::SymLoad:
       case EventKind::BlockLost:
       case EventKind::CommitStart:
+      case EventKind::TokenWait:
       case EventKind::UserMark:
         break; // Informational only.
     }

@@ -1,16 +1,19 @@
 // Development sweep driver: run every workload under the three paper
 // configurations plus DATM, validate functional state, print speedups.
 //
-// Usage: sweep_main [--quick] [--audit] [--shards N] [scale] [nthreads]
-//                   [workload]
-//   --quick     reduced-iteration mode for CI (small scale, 4 threads)
-//   --audit     attach the trace/reenact oracle to every run and fail
-//               on any commit the validator cannot re-derive — for
-//               DATM that includes re-deriving every forwarding chain
-//               (zero skipped chains required)
-//   --shards N  run with N event-queue shards (see docs/architecture.md;
-//               results are bit-identical for any N, which --audit
-//               re-proves commit by commit)
+// Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
+//                   [scale] [nthreads] [workload]
+//   --quick       reduced-iteration mode for CI (small scale, 4 threads)
+//   --audit       attach the trace/reenact oracle to every run and fail
+//                 on any commit the validator cannot re-derive — for
+//                 DATM that includes re-deriving every forwarding chain
+//                 (zero skipped chains required)
+//   --shards N    run with N event-queue shards (see
+//                 docs/architecture.md; results are bit-identical for
+//                 any N, which --audit re-proves commit by commit)
+//   --mem-banks N run with N directory banks (contention unmodeled:
+//                 like --shards, results are bit-identical for any N
+//                 and --audit re-proves it commit by commit)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +56,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool audit = false;
     unsigned shards = 1;
+    unsigned banks = 1;
     double scale = 0.25;
     unsigned nthreads = 8;
     const char *only = nullptr;
@@ -69,6 +73,12 @@ main(int argc, char **argv)
                 return 1;
             }
             shards = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--mem-banks") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--mem-banks requires a count\n");
+                return 1;
+            }
+            banks = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (positional == 0) {
             scale = std::atof(argv[i]);
             ++positional;
@@ -91,9 +101,15 @@ main(int argc, char **argv)
         shards = 1;
     if (shards > nthreads)
         shards = nthreads;
+    if (banks < 1)
+        banks = 1;
+    if (banks > 64)
+        banks = 64;
 
     if (shards > 1)
         std::printf("event queue sharded %u ways\n", shards);
+    if (banks > 1)
+        std::printf("directory banked %u ways\n", banks);
     std::printf("%-18s %10s | %8s %8s %8s %8s | ok\n", "workload",
                 "seq-cyc", "eager", "lazy-vb", "retcon", "datm");
     bool all_ok = true;
@@ -110,6 +126,7 @@ main(int argc, char **argv)
         cfg.nthreads = nthreads;
         cfg.scale = scale;
         cfg.shards = shards;
+        cfg.memBanks = banks;
         cfg.trace.enabled = audit;
         cfg.trace.ringCapacity = 0; // Audit only; no event retention.
         Cycle seq = api::sequentialCycles(cfg);
