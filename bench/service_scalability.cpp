@@ -1,26 +1,34 @@
 /**
  * @file
  * Service-workload scalability across event-queue shards x directory
- * banks.
+ * banks, with the PR-5 conflict-time knobs layered on top.
  *
  * Not a paper figure: this is the ROADMAP's "millions of users"
  * scenario. The service workload (Zipfian queue + hashtable request
- * mix) runs under RETCON while both scale-out bottlenecks are modeled:
+ * mix) runs under RETCON while both substrate bottlenecks are modeled:
  *  - event-queue dispatch is bandwidth-limited (the sequencer
  *    serialization sharding removes, PR 2), and
  *  - the memory system's directory is occupancy-limited and commits
  *    arbitrate per-bank commit tokens (the monolithic-spine
  *    serialization banking removes, PR 4).
- * The (1 shard, 1 bank) point funnels every dispatch slot, directory
- * request, and commit token through single structures; scaling both
- * axes together multiplies all three, so makespan drops and throughput
- * rises. Per-shard rows break down queue load; per-bank rows break
- * down directory stalls and token arbitration.
+ * PR 4 left ~85% of core cycles at 32 threads as genuine transaction
+ * conflict time, so the scaled points additionally attack the
+ * conflicts themselves (PR 5):
+ *  - workload-side partitioning (servicePartitions = shard count):
+ *    the session table and job queue — the §5.4 pointer conflicts
+ *    repair cannot help — split into per-class partitions;
+ *  - NACK/abort backoff (TMConfig::backoff, gentle linear policy):
+ *    retries of contended requests space out instead of re-colliding;
+ *  - contention-aware dispatch (RunConfig::contentionSched): restarts
+ *    blaming hot blocks are deferred, de-phasing conflicting requests.
+ * The (1 shard, 1 bank) monolith keeps every knob off — it is the
+ * PR-4 baseline point, bit-identical run to run.
  *
- * A final self-check requires the (4 shards, 4 banks) point to beat
- * (1, 1) throughput (>= kMinGainQuick x under --quick's fixed sizing,
- * where the run is fully deterministic), so CI can run this binary as
- * a regression gate; bench/baselines pins the exact numbers.
+ * A final self-check requires the (4 shards, 4 banks, 4 partitions)
+ * point to beat (1, 1) throughput (>= kMinGainQuick x under --quick's
+ * fixed sizing, where the run is fully deterministic), so CI can run
+ * this binary as a regression gate; bench/baselines pins the exact
+ * numbers.
  *
  * Usage: service_scalability [--quick] [--json PATH]
  *   --quick      CI sizing (scale 1.0, 32 threads — full Table 1;
@@ -52,17 +60,30 @@ constexpr unsigned kDispatchBandwidth = 1;
 /// backs up under the full request load; four spread it.
 constexpr Cycle kBankOccupancy = 8;
 
-/// Required (4 shards, 4 banks) / (1, 1) throughput gain under
-/// --quick (deterministic sizing; ISSUE 4 acceptance floor).
-constexpr double kMinGainQuick = 2.5;
+/// NACK/abort backoff at the scaled points: gentle linear steps.
+/// Rollback is zero-cycle in this machine, so waiting long costs more
+/// than the wasted work it avoids; 1-cycle steps capped at 16 shave
+/// aborts without adding stall time (docs/tuning.md).
+constexpr Cycle kBackoffBase = 1;
+constexpr Cycle kBackoffCap = 16;
+
+/// Required (4 shards, 4 banks, 4 partitions) / (1, 1) throughput
+/// gain under --quick (deterministic sizing; ISSUE 5 acceptance
+/// floor — PR 4 reached 2.67x on substrate banking alone).
+constexpr double kMinGainQuick = 3.5;
 
 struct Point {
     unsigned shards = 0;
     unsigned banks = 0;
+    unsigned partitions = 1;
+    const char *backoff = "none";
+    bool sched = false;
     Cycle cycles = 0;
     double throughput = 0; ///< Commits per kilocycle.
     std::uint64_t bankStallCycles = 0;
     std::uint64_t tokenWaits = 0;
+    std::uint64_t backoffCycles = 0;
+    std::uint64_t schedDefers = 0;
 };
 
 /** Emit the measured points as one JSON document (perf trajectory). */
@@ -83,13 +104,19 @@ writeJson(const char *path, double scale, unsigned nthreads,
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
         std::fprintf(f,
-                     "%s{\"shards\":%u,\"banks\":%u,\"cycles\":%llu,"
+                     "%s{\"shards\":%u,\"banks\":%u,\"partitions\":%u,"
+                     "\"backoff\":\"%s\",\"sched\":%s,"
+                     "\"cycles\":%llu,"
                      "\"commits_per_kcycle\":%.4f,"
-                     "\"bank_stall_cycles\":%llu,\"token_waits\":%llu}",
-                     i ? "," : "", p.shards, p.banks,
+                     "\"bank_stall_cycles\":%llu,\"token_waits\":%llu,"
+                     "\"backoff_cycles\":%llu,\"sched_defers\":%llu}",
+                     i ? "," : "", p.shards, p.banks, p.partitions,
+                     p.backoff, p.sched ? "true" : "false",
                      (unsigned long long)p.cycles, p.throughput,
                      (unsigned long long)p.bankStallCycles,
-                     (unsigned long long)p.tokenWaits);
+                     (unsigned long long)p.tokenWaits,
+                     (unsigned long long)p.backoffCycles,
+                     (unsigned long long)p.schedDefers);
     }
     std::fprintf(f, "],\"throughput_gain\":%.4f}\n", gain);
     std::fclose(f);
@@ -131,14 +158,18 @@ main(int argc, char **argv)
         base.nthreads = 32;
     }
 
-    printHeader("Service workload vs event-queue shards x directory banks",
-                "ROADMAP scale-out target (not a paper figure)");
+    printHeader("Service workload vs shards x banks x partitions",
+                "ROADMAP conflict-time wall (not a paper figure)");
     std::printf("dispatch bandwidth: %u events/cycle/shard; "
                 "work stealing on\n",
                 kDispatchBandwidth);
     std::printf("bank occupancy: %llu cycles/request; "
-                "per-bank commit tokens on\n\n",
+                "per-bank commit tokens on\n",
                 (unsigned long long)kBankOccupancy);
+    std::printf("scaled points: partitions = shards, linear backoff "
+                "(base %llu, cap %llu), contention scheduler on\n\n",
+                (unsigned long long)kBackoffBase,
+                (unsigned long long)kBackoffCap);
 
     std::vector<Point> points;
     bool all_ok = true;
@@ -148,6 +179,21 @@ main(int argc, char **argv)
         api::RunConfig cfg = base;
         cfg.shards = n;
         cfg.memBanks = n;
+        Point p;
+        p.shards = n;
+        p.banks = n;
+        if (n > 1) {
+            // The conflict-time knobs ride the scale-out axis; the
+            // (1,1) monolith keeps them off (the PR-4 baseline).
+            cfg.servicePartitions = n;
+            cfg.tm.backoff.policy = htm::BackoffPolicy::Linear;
+            cfg.tm.backoff.base = kBackoffBase;
+            cfg.tm.backoff.cap = kBackoffCap;
+            cfg.contentionSched = true;
+            p.partitions = n;
+            p.backoff = htm::backoffPolicyName(cfg.tm.backoff.policy);
+            p.sched = true;
+        }
         api::RunResult r = api::runOnce(cfg);
         flagInvalid(r, "service");
         all_ok = all_ok && r.validation.ok && r.reenact.ok() &&
@@ -156,9 +202,6 @@ main(int argc, char **argv)
             std::printf("!! reenactment audit: %s\n",
                         r.reenact.summary().c_str());
 
-        Point p;
-        p.shards = n;
-        p.banks = n;
         p.cycles = r.cycles;
         p.throughput = 1000.0 * double(r.coreStats.commits) /
                        double(r.cycles);
@@ -166,26 +209,33 @@ main(int argc, char **argv)
             p.bankStallCycles += bs.stallCycles;
             p.tokenWaits += bs.tokenWaits;
         }
+        p.backoffCycles = r.machineStats.backoffCycles;
+        for (const api::ShardSummary &ss : r.shards)
+            p.schedDefers += ss.schedDefers;
         points.push_back(p);
 
-        std::printf("%u shard%s x %u bank%s: %llu cycles, "
+        std::printf("%u shard%s x %u bank%s x %u partition%s "
+                    "(backoff %s, sched %s): %llu cycles, "
                     "%.2f commits/kcycle\n",
                     n, n == 1 ? "" : "s", n, n == 1 ? "" : "s",
+                    p.partitions, p.partitions == 1 ? "" : "s",
+                    p.backoff, p.sched ? "on" : "off",
                     (unsigned long long)r.cycles, p.throughput);
-        std::printf("  %-5s %9s %9s %9s %9s %9s %9s %9s\n", "shard",
+        std::printf("  %-5s %9s %9s %9s %9s %9s %9s %9s %9s\n", "shard",
                     "commits", "aborts", "repairs", "events", "stolen",
-                    "slipped", "tokwait");
+                    "slipped", "tokwait", "defers");
         for (unsigned s = 0; s < r.shards.size(); ++s) {
             const api::ShardSummary &ss = r.shards[s];
             std::printf("  %-5u %9llu %9llu %9llu %9llu %9llu %9llu "
-                        "%9llu\n",
+                        "%9llu %9llu\n",
                         s, (unsigned long long)ss.commits,
                         (unsigned long long)ss.aborts,
                         (unsigned long long)ss.repairs,
                         (unsigned long long)ss.queueExecuted,
                         (unsigned long long)ss.queueStolen,
                         (unsigned long long)ss.queueDeferred,
-                        (unsigned long long)ss.tokenWaits);
+                        (unsigned long long)ss.tokenWaits,
+                        (unsigned long long)ss.schedDefers);
         }
         std::printf("  %-5s %9s %9s %9s %9s %9s\n", "bank", "requests",
                     "stalled", "stallcyc", "tokacq", "tokwait");
@@ -214,9 +264,10 @@ main(int argc, char **argv)
     const Point &first = points.front();
     const Point &last = points.back();
     double gain = last.throughput / first.throughput;
-    std::printf("throughput %ux%u -> %ux%u (shards x banks): %.2fx\n",
-                first.shards, first.banks, last.shards, last.banks,
-                gain);
+    std::printf("throughput %ux%ux%u -> %ux%ux%u "
+                "(shards x banks x partitions): %.2fx\n",
+                first.shards, first.banks, first.partitions, last.shards,
+                last.banks, last.partitions, gain);
     if (json_path)
         writeJson(json_path, base.scale, base.nthreads, points, gain);
     double min_gain = quick ? kMinGainQuick : 1.0;

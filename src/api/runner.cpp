@@ -56,6 +56,7 @@ runOnce(const RunConfig &cfg)
     params.nthreads = cfg.nthreads;
     params.seed = cfg.seed;
     params.scale = cfg.scale;
+    params.servicePartitions = cfg.servicePartitions;
     auto workload = workloads::makeWorkload(cfg.workload, params);
 
     exec::ClusterConfig ccfg;
@@ -68,6 +69,11 @@ runOnce(const RunConfig &cfg)
     ccfg.shardWorkStealing = cfg.shardWorkStealing;
     ccfg.memBanks = cfg.memBanks;
     ccfg.timing.bankOccupancy = cfg.memBankOccupancy;
+    ccfg.sched = cfg.sched;
+    // Either switch engages the scheduler: the RunConfig-level bool
+    // is the convenient knob, sched.enabled the embedded master
+    // switch — honoring both means neither silently wins.
+    ccfg.sched.enabled = cfg.contentionSched || cfg.sched.enabled;
 
     exec::Cluster cluster(ccfg);
 
@@ -127,6 +133,10 @@ runOnce(const RunConfig &cfg)
         for (CoreId c = 0; c < cluster.numThreads(); ++c)
             if (cluster.shardOf(c) == s)
                 sum.tokenWaits += cluster.machine().tokenWaits(c);
+        exec::ContentionScheduler::Stats sched = cluster.schedStats(s);
+        sum.schedObserved = sched.observed;
+        sum.schedDefers = sched.defers;
+        sum.schedDeferCycles = sched.deferCycles;
     }
 
     result.banks.resize(cluster.numBanks());
@@ -155,6 +165,11 @@ runOnce(const RunConfig &cfg)
             (!cfg.trace.exportJsonPath.empty() ||
              !cfg.trace.exportCsvPath.empty())) {
             std::vector<trace::Record> merged = mux->mergedSnapshot();
+            if (cfg.trace.exportSeqMin != 0 ||
+                cfg.trace.exportSeqMax != 0) {
+                merged = trace::seqWindow(merged, cfg.trace.exportSeqMin,
+                                          cfg.trace.exportSeqMax);
+            }
             if (!cfg.trace.exportJsonPath.empty())
                 trace::exportJsonFile(merged, cfg.trace.exportJsonPath);
             if (!cfg.trace.exportCsvPath.empty())

@@ -44,6 +44,15 @@ struct TraceOptions {
     /** When non-empty, export retained events after the run. */
     std::string exportJsonPath;
     std::string exportCsvPath;
+
+    /**
+     * Export window on the machine-global `seq` key: only records
+     * with exportSeqMin <= seq < exportSeqMax are written
+     * (trace::seqWindow). The defaults (0, 0 = unbounded) export
+     * every retained record — the whole-buffer behaviour.
+     */
+    std::uint64_t exportSeqMin = 0;
+    std::uint64_t exportSeqMax = 0;
 };
 
 /** One experiment run description. */
@@ -77,6 +86,28 @@ struct RunConfig {
 
     /** Cycles a directory bank is busy per request; 0 = unmodeled. */
     Cycle memBankOccupancy = 0;
+
+    /**
+     * Workload-side partitions for the `service` workload (session
+     * hashtable + per-request-class job queues; ignored by the
+     * Table 2 set). 1 = the unpartitioned layout, bit-identical to
+     * pre-partitioning behaviour (docs/tuning.md).
+     */
+    unsigned servicePartitions = 1;
+
+    /**
+     * Contention-aware re-dispatch scheduling (exec/scheduler.hpp):
+     * per-shard hot-block tables, fed by abort and commit-token
+     * contention events, defer restarting a task whose last abort
+     * blamed a hot block. Off (the default) reproduces immediate
+     * re-dispatch exactly; NACK-retry backoff is configured
+     * separately via tm.backoff (htm::BackoffConfig).
+     */
+    bool contentionSched = false;
+
+    /** Scheduler knobs. The scheduler engages when either this
+     *  struct's own `enabled` or `contentionSched` above is set. */
+    exec::SchedulerConfig sched{};
 };
 
 /** Per-shard outcome of a run (one entry per event-queue shard). */
@@ -100,6 +131,13 @@ struct ShardSummary {
     /// Commit-token waits charged to cores homed on this shard
     /// (0 unless tm.commitTokenArbitration).
     std::uint64_t tokenWaits = 0;
+
+    /// Contention-aware scheduling on this shard (all 0 unless
+    /// RunConfig::contentionSched): hot-block observations fed to the
+    /// shard's table, restarts deferred, and total deferral cycles.
+    std::uint64_t schedObserved = 0;
+    std::uint64_t schedDefers = 0;
+    std::uint64_t schedDeferCycles = 0;
 };
 
 /** Per-directory-bank outcome of a run (one entry per memory bank). */

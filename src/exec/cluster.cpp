@@ -28,7 +28,13 @@ Cluster::Cluster(const ClusterConfig &cfg)
     _ms = std::make_unique<mem::MemorySystem>(cfg.numThreads, cfg.timing,
                                               cfg.caches, cfg.memBanks);
     _ms->setClock(&_eq); // Bank occupancy observes the global clock.
-    _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, cfg.tm);
+    htm::TMConfig tm = cfg.tm;
+    if (tm.backoff.seed == 0) {
+        // Inherit the cluster seed (plus a policy-private stream tag)
+        // so RunConfig::seed alone reproduces the jitter streams.
+        tm.backoff.seed = cfg.seed ^ 0xb0ff0ff5eedull;
+    }
+    _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, tm);
     _barrier = std::make_unique<Barrier>(cfg.numThreads);
     for (CoreId i = 0; i < cfg.numThreads; ++i)
         _cores.push_back(std::make_unique<Core>(
@@ -37,6 +43,19 @@ Cluster::Cluster(const ClusterConfig &cfg)
     _tm->setRemoteAbortHandler([this](CoreId victim, htm::AbortCause c) {
         _cores[victim]->onRemoteAbort(c);
     });
+    if (cfg.sched.enabled) {
+        _sched = std::make_unique<ContentionScheduler>(cfg.numShards,
+                                                       cfg.sched);
+        _tm->setContentionHook([this](CoreId core, Addr key) {
+            _sched->observe(shardOf(core), key, _eq.now());
+        });
+        for (auto &core : _cores)
+            core->setDeferHook([this](CoreId c) {
+                return _sched->deferDelay(shardOf(c),
+                                          _tm->abortBlame(c),
+                                          _eq.now());
+            });
+    }
     if (cfg.traceSink)
         _tm->setTraceSink(cfg.traceSink);
 }

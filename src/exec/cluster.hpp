@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/core.hpp"
+#include "exec/scheduler.hpp"
 #include "htm/machine.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/sharded_queue.hpp"
@@ -61,6 +62,15 @@ struct ClusterConfig {
      * simulated results are bit-identical for any value otherwise.
      */
     unsigned memBanks = 1;
+
+    /**
+     * Contention-aware re-dispatch scheduling (exec/scheduler.hpp):
+     * per-shard hot-block tables fed by the machine's abort and
+     * commit-token contention events defer the restart of tasks whose
+     * last abort blamed a hot block, de-phasing conflicting requests.
+     * Off (the default) reproduces immediate re-dispatch exactly.
+     */
+    SchedulerConfig sched{};
 
     /**
      * Optional provenance sink (non-owning; must outlive the cluster).
@@ -114,6 +124,14 @@ class Cluster
         return _eq.shardStats(shard);
     }
 
+    /** Contention-scheduler counters for @p shard (zeros when the
+     *  scheduler is disabled). */
+    ContentionScheduler::Stats schedStats(unsigned shard) const
+    {
+        return _sched ? _sched->stats(shard)
+                      : ContentionScheduler::Stats{};
+    }
+
     /** Attach/detach a provenance sink after construction. */
     void setTraceSink(trace::TraceSink *sink);
 
@@ -123,6 +141,7 @@ class Cluster
     std::unique_ptr<mem::MemorySystem> _ms;
     std::unique_ptr<htm::TMMachine> _tm;
     std::unique_ptr<Barrier> _barrier;
+    std::unique_ptr<ContentionScheduler> _sched;
     std::vector<std::unique_ptr<Core>> _cores;
 };
 

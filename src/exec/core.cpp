@@ -510,6 +510,17 @@ Core::cleanupAttempt()
     ++_stats.aborts;
     _body.reset();
     _tx.reset();
+    // Restart delay: the machine's abort-backoff policy plus the
+    // contention scheduler's deferral for hot blamed blocks. Both are
+    // 0 by default (immediate restart — the baseline behaviour); any
+    // wait is conflict time, like every other contention stall.
+    Cycle delay = _tm.restartBackoff(_id);
+    if (_deferHook)
+        delay += _deferHook(_id);
+    if (delay > 0) {
+        schedule(delay, Cat::Stall, [this]() { beginTxnAttempt(true); });
+        return;
+    }
     beginTxnAttempt(true);
 }
 

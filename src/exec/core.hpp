@@ -248,11 +248,23 @@ class Core
     using BodyFactory = std::function<Task<TxValue>(Tx &)>;
     using ProgramFactory = std::function<Task<void>(WorkerCtx &)>;
 
+    /**
+     * Re-dispatch deferral hook (contention-aware scheduling): called
+     * with this core's id after an abort, returns extra cycles to
+     * wait before restarting the transaction — nonzero when the
+     * abort's blamed block is currently hot (exec::Cluster wires this
+     * to its per-shard hot-block tables; see exec/scheduler.hpp).
+     */
+    using DeferFn = std::function<Cycle(CoreId)>;
+
     Core(CoreId id, ShardRef eq, htm::TMMachine &tm, Barrier &barrier,
          unsigned nthreads, std::uint64_t seed);
 
     /** Install and start the thread program at the current cycle. */
     void start(ProgramFactory factory);
+
+    /** Install the re-dispatch deferral hook (null disables). */
+    void setDeferHook(DeferFn fn) { _deferHook = std::move(fn); }
 
     bool finished() const { return _finished; }
     CoreId id() const { return _id; }
@@ -290,6 +302,7 @@ class Core
     std::optional<WorkerCtx> _ctx;
 
     ProgramFactory _programFactory;
+    DeferFn _deferHook;
     std::optional<Task<void>> _program;
     std::optional<Task<TxValue>> _body;
     TxnAwait *_txnAwait = nullptr;

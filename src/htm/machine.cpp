@@ -1,6 +1,7 @@
 #include "htm/machine.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/logging.hpp"
 
@@ -29,6 +30,32 @@ cmPolicyName(CMPolicy p)
       case CMPolicy::RequesterWins: return "requester-wins";
     }
     return "?";
+}
+
+const char *
+backoffPolicyName(BackoffPolicy p)
+{
+    switch (p) {
+      case BackoffPolicy::None: return "none";
+      case BackoffPolicy::Linear: return "linear";
+      case BackoffPolicy::ExpCapped: return "exp";
+      case BackoffPolicy::ConflictProportional: return "prop";
+    }
+    return "?";
+}
+
+BackoffPolicy
+backoffPolicyFromName(const char *name)
+{
+    if (std::strcmp(name, "none") == 0)
+        return BackoffPolicy::None;
+    if (std::strcmp(name, "linear") == 0)
+        return BackoffPolicy::Linear;
+    if (std::strcmp(name, "exp") == 0)
+        return BackoffPolicy::ExpCapped;
+    if (std::strcmp(name, "prop") == 0)
+        return BackoffPolicy::ConflictProportional;
+    panic("unknown backoff policy '%s' (none|linear|exp|prop)", name);
 }
 
 const char *
@@ -89,6 +116,13 @@ TMMachine::TMMachine(const SimClock &clock, mem::MemorySystem &ms,
             _cfg, ms.cacheConfig().permOnly));
     _bankTokens.resize(ms.numBanks());
     _tokenWaitsByCore.assign(ms.numCores(), 0);
+    _nackStreak.assign(ms.numCores(), 0);
+    _abortStreak.assign(ms.numCores(), 0);
+    _conflictHeat.assign(ms.numCores(), 0);
+    _abortBlame.assign(ms.numCores(), 0);
+    _backoffRng.reserve(ms.numCores());
+    for (unsigned i = 0; i < ms.numCores(); ++i)
+        _backoffRng.push_back(Xoshiro::forThread(_cfg.backoff.seed, i));
     _ms.setListener(this);
 }
 
@@ -217,7 +251,7 @@ TMMachine::resolveConflict(CoreId requester, bool requester_txnal,
       case CMPolicy::OldestWins:
         if (!info.anyOlder) {
             for (CoreId h : info.holders)
-                doAbort(h, AbortCause::Conflict, true);
+                doAbort(h, AbortCause::Conflict, true, block);
             if (requester_txnal)
                 _cores[requester]->lastNackBlock = static_cast<Addr>(-1);
             return OpStatus::Ok;
@@ -229,27 +263,36 @@ TMMachine::resolveConflict(CoreId requester, bool requester_txnal,
         return OpStatus::Nack;
 
       case CMPolicy::RequesterLoses:
-        doAbort(requester, AbortCause::Conflict, false);
+        doAbort(requester, AbortCause::Conflict, false, block);
         return OpStatus::AbortSelf;
 
       case CMPolicy::RequesterWins:
         for (CoreId h : info.holders)
-            doAbort(h, AbortCause::Conflict, true);
+            doAbort(h, AbortCause::Conflict, true, block);
         return OpStatus::Ok;
     }
     return OpStatus::Ok;
 }
 
 void
-TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec)
+TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec,
+                   Addr blame)
 {
     if (_cfg.mode == TMMode::DATM) {
-        datmAbortCascade(core, cause, notify_exec);
+        datmAbortCascade(core, cause, notify_exec, blame);
         return;
     }
     CoreTxState &st = *_cores[core];
     sim_assert(st.active(), "aborting an idle transaction on core %u",
                core);
+    _abortBlame[core] = blame;
+    ++_abortStreak[core];
+    _nackStreak[core] = 0;
+    if (blame != 0) {
+        ++_conflictHeat[core];
+        if (_contention)
+            _contention(core, blame);
+    }
     st.undo.rollback(_ms.memory());
     if (_serialLockHolder == core)
         _serialLockHolder = kNoCore;
@@ -346,7 +389,7 @@ TMMachine::findForwardProducer(CoreId reader, Addr word,
 
 void
 TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
-                            bool notify_exec)
+                            bool notify_exec, Addr blame)
 {
     CoreTxState &root = *_cores[core];
     sim_assert(root.active(), "DATM cascade from idle core %u", core);
@@ -397,6 +440,15 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
         _activeUids.erase(st.uid);
         st.resetSpeculation();
         ++_stats.aborts;
+        Addr bl = (m == core) ? blame : 0;
+        _abortBlame[m] = bl;
+        ++_abortStreak[m];
+        _nackStreak[m] = 0;
+        if (bl != 0) {
+            ++_conflictHeat[m];
+            if (_contention)
+                _contention(m, bl);
+        }
         AbortCause c = (m == core) ? cause : AbortCause::DatmCascade;
         ++_stats.abortsByCause[static_cast<int>(c)];
         emitTrace(m, "abort", 0, static_cast<Word>(c));
@@ -476,8 +528,7 @@ TMMachine::eagerAccess(CoreId core, Addr addr, bool is_write, Word value,
             resolveConflict(core, txnal, block, is_write, is_retry);
         if (s != OpStatus::Ok) {
             out.status = s;
-            out.latency =
-                s == OpStatus::Nack ? _cfg.nackRetryCycles : 0;
+            out.latency = s == OpStatus::Nack ? nackLatency(core) : 0;
             return out;
         }
     }
@@ -541,7 +592,7 @@ TMMachine::plainStore(CoreId core, Addr addr, Word value, unsigned size)
             if (st.active() && (st.readSet.count(block) ||
                                 st.writeSet.count(block) ||
                                 st.ssb.find(wordAddr(addr))))
-                doAbort(c, AbortCause::LazyCommitter, true);
+                doAbort(c, AbortCause::LazyCommitter, true, block);
         }
         mem::AccessResult res = _ms.access(core, block, true);
         _ms.memory().write(addr, value, size);
@@ -571,7 +622,7 @@ TMMachine::txBegin(CoreId core, bool is_retry)
     if (_cfg.mode == TMMode::Serial) {
         if (_serialLockHolder != kNoCore && _serialLockHolder != core) {
             out.status = OpStatus::Nack;
-            out.latency = _cfg.nackRetryCycles;
+            out.latency = nackLatency(core, /*conflict=*/false);
             return out;
         }
         _serialLockHolder = core;
@@ -604,7 +655,8 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
     // OneTM overflow handling: acquire the serialization token first.
     if (st.overflowPending && !st.overflowed) {
         if (_overflowTokenHolder != kNoCore) {
-            return MemOpOutcome{OpStatus::Nack, _cfg.nackRetryCycles, 0,
+            return MemOpOutcome{OpStatus::Nack,
+                                nackLatency(core, /*conflict=*/false), 0,
                                 std::nullopt};
         }
         _overflowTokenHolder = core;
@@ -738,10 +790,12 @@ TMMachine::txLoad(CoreId core, Addr addr, unsigned size, bool is_retry)
                 datmCreatesCycle(hs.uid, st.uid)) {
                 // Cyclic dependence: abort the younger (Figure 2b).
                 if (hs.timestamp > st.timestamp) {
-                    datmAbortCascade(h, AbortCause::DatmCycle, true);
+                    datmAbortCascade(h, AbortCause::DatmCycle, true,
+                                     block);
                     continue;
                 }
-                datmAbortCascade(core, AbortCause::DatmCycle, false);
+                datmAbortCascade(core, AbortCause::DatmCycle, false,
+                                 block);
                 return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
                                     std::nullopt};
             }
@@ -800,7 +854,7 @@ TMMachine::symbolicFirstLoad(CoreId core, Addr addr, unsigned size,
     OpStatus s = resolveConflict(core, true, block, false, is_retry);
     if (s != OpStatus::Ok) {
         return MemOpOutcome{
-            s, s == OpStatus::Nack ? _cfg.nackRetryCycles : Cycle(0), 0,
+            s, s == OpStatus::Nack ? nackLatency(core) : Cycle(0), 0,
             std::nullopt};
     }
 
@@ -846,7 +900,8 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
 
     if (st.overflowPending && !st.overflowed) {
         if (_overflowTokenHolder != kNoCore) {
-            return MemOpOutcome{OpStatus::Nack, _cfg.nackRetryCycles, 0,
+            return MemOpOutcome{OpStatus::Nack,
+                                nackLatency(core, /*conflict=*/false), 0,
                                 std::nullopt};
         }
         _overflowTokenHolder = core;
@@ -919,7 +974,8 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
             auto it = ss.datmPreds.find(st.uid);
             if (it != ss.datmPreds.end() && (it->second & 2) &&
                 ss.readSet.count(block) && st.writeSet.count(block)) {
-                datmAbortCascade(s, AbortCause::DatmCascade, true);
+                datmAbortCascade(s, AbortCause::DatmCascade, true,
+                                 block);
             }
         }
         for (CoreId h = 0; h < _ms.numCores(); ++h) {
@@ -935,10 +991,12 @@ TMMachine::txStore(CoreId core, Addr addr, Word value,
             if (hs.datmPreds.count(st.uid) ||
                 datmCreatesCycle(hs.uid, st.uid)) {
                 if (hs.timestamp > st.timestamp) {
-                    datmAbortCascade(h, AbortCause::DatmCycle, true);
+                    datmAbortCascade(h, AbortCause::DatmCycle, true,
+                                     block);
                     continue;
                 }
-                datmAbortCascade(core, AbortCause::DatmCycle, false);
+                datmAbortCascade(core, AbortCause::DatmCycle, false,
+                                 block);
                 return MemOpOutcome{OpStatus::AbortSelf, 0, 0,
                                     std::nullopt};
             }
@@ -981,7 +1039,7 @@ TMMachine::retconEagerStore(CoreId core, Addr addr, Word value,
     if (s != OpStatus::Ok) {
         MemOpOutcome out;
         out.status = s;
-        out.latency = s == OpStatus::Nack ? _cfg.nackRetryCycles : 0;
+        out.latency = s == OpStatus::Nack ? nackLatency(core) : 0;
         return out;
     }
     mem::AccessResult res = _ms.access(core, block, true);
@@ -1092,6 +1150,70 @@ TMMachine::earlyViolationAbort(CoreId core)
 }
 
 // ---------------------------------------------------------------------
+// NACK/abort retry backoff
+// ---------------------------------------------------------------------
+
+Cycle
+TMMachine::backoffExtra(CoreId core, std::uint32_t steps)
+{
+    const BackoffConfig &b = _cfg.backoff;
+    if (steps == 0)
+        return 0;
+    Cycle extra = 0;
+    switch (b.policy) {
+      case BackoffPolicy::None:
+        return 0;
+      case BackoffPolicy::Linear:
+        extra = b.base * steps;
+        break;
+      case BackoffPolicy::ExpCapped:
+        // base * 2^(steps-1), saturating well before the shift wraps.
+        extra = steps >= 16 ? b.cap
+                            : b.base * (Cycle(1) << (steps - 1));
+        break;
+      case BackoffPolicy::ConflictProportional:
+        extra = b.base * _conflictHeat[core];
+        break;
+    }
+    extra = std::min(extra, b.cap);
+    if (b.jitter && extra > 1) {
+        // Equal jitter: uniform in [extra/2, extra], per-core stream.
+        extra = extra / 2 + _backoffRng[core].below(extra / 2 + 1);
+    }
+    return extra;
+}
+
+Cycle
+TMMachine::nackLatency(CoreId core, bool conflict)
+{
+    Cycle lat = _cfg.nackRetryCycles;
+    if (_cfg.backoff.policy == BackoffPolicy::None)
+        return lat;
+    if (conflict)
+        ++_conflictHeat[core];
+    ++_nackStreak[core];
+    Cycle extra = backoffExtra(core, _nackStreak[core]);
+    if (extra > 0) {
+        ++_stats.backoffNacks;
+        _stats.backoffCycles += extra;
+    }
+    return lat + extra;
+}
+
+Cycle
+TMMachine::restartBackoff(CoreId core)
+{
+    if (_cfg.backoff.policy == BackoffPolicy::None)
+        return 0;
+    Cycle extra = backoffExtra(core, _abortStreak[core]);
+    if (extra > 0) {
+        ++_stats.backoffRestarts;
+        _stats.backoffCycles += extra;
+    }
+    return extra;
+}
+
+// ---------------------------------------------------------------------
 // Commit-token arbitration (per directory bank)
 // ---------------------------------------------------------------------
 
@@ -1148,6 +1270,8 @@ TMMachine::acquireCommitTokens(CoreId core)
             ++_tokenWaitsByCore[core];
             emitTrace(core, "token-wait", b, h);
             audit(core, trace::EventKind::TokenWait, b, h, need);
+            if (_contention)
+                _contention(core, tokenBlameKey(b));
             return false;
         }
     }
@@ -1159,7 +1283,7 @@ TMMachine::acquireCommitTokens(CoreId core)
         CoreId h = _bankTokens[b].holder;
         if (h != kNoCore && h != core) {
             ++_stats.tokenSteals;
-            doAbort(h, AbortCause::Conflict, true);
+            doAbort(h, AbortCause::Conflict, true, tokenBlameKey(b));
         }
     }
     if (!st.active()) {
@@ -1244,7 +1368,7 @@ TMMachine::commitStep(CoreId core, bool is_retry)
             for (const auto &[p, flags] : st.datmPreds) {
                 if (_activeUids.count(p)) {
                     out.status = OpStatus::Nack;
-                    out.latency = _cfg.nackRetryCycles;
+                    out.latency = nackLatency(core, /*conflict=*/false);
                     st.commitCycles += out.latency;
                     return out;
                 }
@@ -1256,7 +1380,7 @@ TMMachine::commitStep(CoreId core, bool is_retry)
         if (_cfg.commitTokenArbitration && _cfg.mode != TMMode::Serial &&
             !acquireCommitTokens(core)) {
             out.status = OpStatus::Nack;
-            out.latency = _cfg.nackRetryCycles;
+            out.latency = nackLatency(core);
             st.commitCycles += out.latency;
             return out;
         }
@@ -1287,7 +1411,7 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
     if (st.commitPhase == 0) {
         if (_cfg.commitTokenArbitration && !acquireCommitTokens(core)) {
             out.status = OpStatus::Nack;
-            out.latency = _cfg.nackRetryCycles;
+            out.latency = nackLatency(core);
             st.commitCycles += out.latency;
             return out;
         }
@@ -1326,7 +1450,7 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
                                              want_write, is_retry);
                 if (s == OpStatus::Nack) {
                     out.status = OpStatus::Nack;
-                    out.latency = _cfg.nackRetryCycles;
+                    out.latency = nackLatency(core);
                     st.commitCycles += out.latency;
                     return out;
                 }
@@ -1400,7 +1524,7 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
                 resolveConflict(core, true, block, true, is_retry);
             if (s == OpStatus::Nack) {
                 out.status = OpStatus::Nack;
-                out.latency = _cfg.nackRetryCycles;
+                out.latency = nackLatency(core);
                 st.commitCycles += out.latency;
                 return out;
             }
@@ -1447,7 +1571,7 @@ TMMachine::commitStepLazy(CoreId core, [[maybe_unused]] bool is_retry)
     if (st.commitPhase == 0) {
         if (_lazyCommitToken != kNoCore && _lazyCommitToken != core) {
             out.status = OpStatus::Nack;
-            out.latency = _cfg.nackRetryCycles;
+            out.latency = nackLatency(core, /*conflict=*/false);
             st.commitCycles += out.latency;
             return out;
         }
@@ -1478,7 +1602,7 @@ TMMachine::commitStepLazy(CoreId core, [[maybe_unused]] bool is_retry)
             bool touched = cs.readSet.count(block) ||
                            cs.writeSet.count(block);
             if (touched)
-                doAbort(c, AbortCause::LazyCommitter, true);
+                doAbort(c, AbortCause::LazyCommitter, true, block);
         }
         mem::AccessResult res = _ms.access(core, block, true);
         Word value = e.concrete ^ _cfg.faultInjectRepairXor;
@@ -1523,6 +1647,12 @@ TMMachine::finalizeCommit(CoreId core)
         st.datmForwardedRead ? trace::kCommitAuxDatmForwarded : 0;
     st.resetSpeculation();
     st.hasTimestamp = false;
+    // Backoff streaks end with the transaction; conflict heat decays
+    // geometrically so the proportional policy tracks *recent*
+    // pressure instead of a whole run's history.
+    _nackStreak[core] = 0;
+    _abortStreak[core] = 0;
+    _conflictHeat[core] >>= 1;
     ++_stats.commits;
     emitTrace(core, "commit", 0, 0);
     audit(core, trace::EventKind::Commit, 0, 0, 0, std::nullopt,

@@ -34,6 +34,7 @@
 #include "mem/memory_system.hpp"
 #include "retcon/predictor.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "trace/sink.hpp"
 
@@ -56,6 +57,11 @@ struct MachineStats {
     std::uint64_t tokenWaits = 0;    ///< NACKed acquisition attempts.
     std::uint64_t tokenSteals = 0;   ///< Younger holders aborted by an
                                      ///< older committer (oldest-wins).
+
+    /// NACK/abort backoff (0 unless TMConfig::backoff.policy != None).
+    std::uint64_t backoffNacks = 0;    ///< NACK retries delayed extra.
+    std::uint64_t backoffRestarts = 0; ///< Post-abort restarts delayed.
+    std::uint64_t backoffCycles = 0;   ///< Total extra delay imposed.
 
     AvgMax blocksLost;
     AvgMax blocksTracked;
@@ -87,6 +93,15 @@ class TMMachine : public mem::CoherenceListener
     using TraceFn = std::function<void(const TraceEvent &)>;
 
     /**
+     * Contention observation hook (the feed of the exec layer's
+     * hot-block tables): called with the blamed key every time a
+     * transaction is aborted by a block conflict or a commit-token
+     * steal (key = the contested block / tokenBlameKey(bank)) and on
+     * every commit-token NACK. Null (the default) disables feeding.
+     */
+    using ContentionFn = std::function<void(CoreId, Addr)>;
+
+    /**
      * @p clock is only observed (latency stamps, provenance records):
      * pass the driving EventQueue or a ShardedEventQueue's global
      * clock — the machine never schedules events itself.
@@ -100,6 +115,7 @@ class TMMachine : public mem::CoherenceListener
 
     void setRemoteAbortHandler(RemoteAbortFn fn) { _onRemoteAbort = fn; }
     void setTraceHook(TraceFn fn) { _trace = fn; }
+    void setContentionHook(ContentionFn fn) { _contention = std::move(fn); }
 
     /**
      * Attach a provenance sink (trace/). Null detaches. With no sink
@@ -205,6 +221,23 @@ class TMMachine : public mem::CoherenceListener
         return _tokenWaitsByCore[core];
     }
 
+    /**
+     * Extra delay (cycles) the execution layer must wait before
+     * restarting @p core's aborted transaction, per the configured
+     * backoff policy (0 when the policy is None — the immediate-
+     * restart baseline). Counted in MachineStats::backoffRestarts.
+     */
+    Cycle restartBackoff(CoreId core);
+
+    /**
+     * The key blamed for @p core's most recent abort: the contested
+     * block for conflict aborts, tokenBlameKey(bank) for commit-token
+     * steals, 0 when the abort had no contention blame (constraint
+     * violations, zombies, explicit aborts). Consumed by the exec
+     * layer's contention-aware re-dispatch.
+     */
+    Addr abortBlame(CoreId core) const { return _abortBlame[core]; }
+
   private:
     const SimClock &_eq;
     mem::MemorySystem &_ms;
@@ -213,6 +246,7 @@ class TMMachine : public mem::CoherenceListener
     std::vector<std::unique_ptr<CoreTxState>> _cores;
     RemoteAbortFn _onRemoteAbort;
     TraceFn _trace;
+    ContentionFn _contention;
     trace::TraceSink *_sink = nullptr;
     std::uint64_t _auditSeq = 1; ///< Global provenance-record order.
     MachineStats _stats;
@@ -233,6 +267,17 @@ class TMMachine : public mem::CoherenceListener
     };
     std::vector<BankToken> _bankTokens;
     std::vector<std::uint64_t> _tokenWaitsByCore;
+
+    /// NACK/abort backoff state (all per core). Streaks reset at
+    /// commit; the NACK streak additionally resets at abort (the
+    /// restart is a fresh attempt). Heat is the conflict-proportional
+    /// policy's pressure estimate: ++ on conflict NACK/abort, halved
+    /// on commit.
+    std::vector<Xoshiro> _backoffRng;
+    std::vector<std::uint32_t> _nackStreak;
+    std::vector<std::uint32_t> _abortStreak;
+    std::vector<std::uint32_t> _conflictHeat;
+    std::vector<Addr> _abortBlame;
 
     /// DATM: uid -> core for still-active attempts.
     std::unordered_map<std::uint64_t, CoreId> _activeUids;
@@ -257,8 +302,27 @@ class TMMachine : public mem::CoherenceListener
     OpStatus resolveConflict(CoreId requester, bool requester_txnal,
                              Addr block, bool is_write, bool is_retry);
 
-    /** Roll back and reset @p core's transaction. */
-    void doAbort(CoreId core, AbortCause cause, bool notify_exec);
+    /**
+     * Roll back and reset @p core's transaction. @p blame names the
+     * contention cause (contested block / token-blame key) when the
+     * abort was a contention loss; it is published via abortBlame()
+     * and fed to the contention hook.
+     */
+    void doAbort(CoreId core, AbortCause cause, bool notify_exec,
+                 Addr blame = 0);
+
+    /**
+     * NACK retry latency for @p core: nackRetryCycles plus the
+     * configured backoff policy's extra delay (which grows with the
+     * attempt's consecutive-NACK streak). @p conflict marks NACKs
+     * caused by block/token contention — they raise the conflict-
+     * proportional heat; availability waits (serial lock, overflow
+     * token, DATM predecessor) do not.
+     */
+    Cycle nackLatency(CoreId core, bool conflict = true);
+
+    /** Policy-scaled extra delay for a streak of @p steps retries. */
+    Cycle backoffExtra(CoreId core, std::uint32_t steps);
 
     /** Directory banks @p core's commit will write (token set). */
     std::uint64_t neededBankMask(CoreId core) const;
@@ -275,7 +339,8 @@ class TMMachine : public mem::CoherenceListener
     void releaseCommitTokens(CoreId core);
 
     /** DATM: abort @p core and all transitive successors. */
-    void datmAbortCascade(CoreId core, AbortCause cause, bool notify_exec);
+    void datmAbortCascade(CoreId core, AbortCause cause, bool notify_exec,
+                          Addr blame = 0);
 
     /** DATM: would adding edge pred->succ create a dependence cycle? */
     bool datmCreatesCycle(std::uint64_t pred_uid,

@@ -79,6 +79,75 @@ struct CommitStepOutcome {
     bool done = false;
 };
 
+/**
+ * NACK/abort retry backoff policy. The baseline machine retries a
+ * NACKed operation after a fixed `nackRetryCycles` and re-begins an
+ * aborted transaction immediately — under heavy contention every
+ * loser re-arrives in lockstep and loses again. A backoff policy adds
+ * a growing extra delay so conflicting transactions de-phase.
+ */
+enum class BackoffPolicy : std::uint8_t {
+    None,        ///< Fixed nackRetryCycles, immediate restart (baseline).
+    Linear,      ///< extra = base * streak, capped.
+    ExpCapped,   ///< extra = base * 2^(streak-1), capped (binary
+                 ///< exponential backoff).
+    ConflictProportional, ///< extra = base * per-core conflict heat
+                          ///< (heat rises on every conflict NACK/abort,
+                          ///< halves on commit), capped.
+};
+
+const char *backoffPolicyName(BackoffPolicy p);
+
+/** Parse a policy name ("none", "linear", "exp", "prop"); fatal()s on
+ *  unknown names. */
+BackoffPolicy backoffPolicyFromName(const char *name);
+
+/** NACK/abort backoff configuration (TMConfig::backoff). */
+struct BackoffConfig {
+    BackoffPolicy policy = BackoffPolicy::None;
+
+    /// One backoff step, in cycles (the unit the policies scale).
+    /// Deliberately gentle: rollback is zero-cycle in this machine,
+    /// so retry waits beyond a few tens of cycles cost more than the
+    /// wasted work they avoid (measured on the service mix —
+    /// docs/tuning.md).
+    Cycle base = 2;
+
+    /// Upper bound on the extra delay of a single retry.
+    Cycle cap = 64;
+
+    /**
+     * Equal-jitter randomization: the extra delay is drawn uniformly
+     * from [extra/2, extra] per retry, from a per-core xoshiro stream
+     * seeded by (seed, core) — fully deterministic for a fixed seed,
+     * but different cores de-phase differently. Without jitter every
+     * core backs off by the same schedule and re-collides.
+     */
+    bool jitter = true;
+
+    /**
+     * Seed of the per-core jitter streams. 0 (the default) means
+     * "inherit the cluster seed" (exec::Cluster stamps it), so
+     * RunConfig::seed alone reproduces a run bit-for-bit.
+     */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Synthetic contention-blame key for a directory-bank commit token:
+ * the contention scheduler's hot table is keyed by blamed address,
+ * and token waits blame a bank rather than a block. The keys live at
+ * the very top of the address space, far above any workload heap
+ * (kTokenBlameBase marks the start of the range; bank is 0..63).
+ */
+inline constexpr Addr kTokenBlameBase = ~Addr(0) - 63;
+
+constexpr Addr
+tokenBlameKey(unsigned bank)
+{
+    return kTokenBlameBase + bank;
+}
+
 /** Machine configuration (Table 1 defaults). */
 struct TMConfig {
     TMMode mode = TMMode::Eager;
@@ -96,7 +165,18 @@ struct TMConfig {
     bool parallelReacquire = false;  ///< Pre-commit reacquires overlap.
     bool freeCommitStores = false;   ///< Commit-time stores cost nothing.
 
-    Cycle nackRetryCycles = 25;   ///< Backoff before retrying a NACK.
+    Cycle nackRetryCycles = 25;   ///< Base delay before retrying a NACK.
+
+    /**
+     * NACK/abort retry backoff. With the policy None (the default)
+     * the machine reproduces the PR-4 behaviour bit-for-bit: fixed
+     * nackRetryCycles per NACK, immediate restart after an abort.
+     * Any other policy adds a growing, optionally jittered extra
+     * delay per consecutive NACK (and before restarting an aborted
+     * transaction), counted in MachineStats::{backoffNacks,
+     * backoffRestarts, backoffCycles}.
+     */
+    BackoffConfig backoff{};
     Cycle beginLatency = 2;       ///< Transaction begin overhead.
     Cycle commitTokenLatency = 2; ///< Baseline commit overhead.
 

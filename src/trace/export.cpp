@@ -24,6 +24,21 @@ cmpOpName(rtc::CmpOp op)
 
 } // namespace
 
+std::vector<Record>
+seqWindow(const std::vector<Record> &recs, std::uint64_t seq_min,
+          std::uint64_t seq_max)
+{
+    std::vector<Record> out;
+    for (const Record &r : recs) {
+        if (r.seq < seq_min)
+            continue;
+        if (seq_max != 0 && r.seq >= seq_max)
+            continue;
+        out.push_back(r);
+    }
+    return out;
+}
+
 void
 writeJsonRecord(const Record &r, std::ostream &os)
 {

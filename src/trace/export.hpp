@@ -34,6 +34,19 @@ void writeCsvRecord(const Record &r, std::ostream &os);
 /** The CSV header row matching writeCsvRecord (no newline). */
 const char *csvHeader();
 
+/**
+ * Window a record stream on the machine-global `seq` key: keep
+ * records with seq_min <= seq < seq_max. A bound of 0 means
+ * unbounded on that side, so (0, 0) copies everything — the
+ * whole-buffer export behaviour. Records are assumed (and kept)
+ * in their input order; on a merged snapshot that is ascending seq,
+ * so the result is the contiguous sub-trace of the window
+ * (docs/trace-format.md, "Windowed export").
+ */
+std::vector<Record> seqWindow(const std::vector<Record> &recs,
+                              std::uint64_t seq_min,
+                              std::uint64_t seq_max);
+
 /** Stream retained records as JSON Lines. @return records written. */
 std::size_t exportJson(const TraceRecorder &rec, std::ostream &os);
 std::size_t exportJson(const std::vector<Record> &recs, std::ostream &os);

@@ -15,6 +15,17 @@
  *  - a shared work queue (intruder-style pointer contention that
  *    repair cannot help — §5.4) taking a trickle of enqueued jobs
  *    drained by worker dequeues;
+ *
+ * Workload-side partitioning (WorkloadParams::servicePartitions, P):
+ * the session hashtable splits into P partition tables (worker t
+ * serves partition t mod P) and the work queue into P per-request-
+ * class queues (a job of payload v belongs to class v mod P; worker t
+ * drains class t mod P). Partitioning is how real services break
+ * exactly the conflicts RETCON cannot repair — the queue's head/tail
+ * pointer contention (§5.4) — while the repairable counter conflicts
+ * stay shared. P = 1 reproduces the unpartitioned layout
+ * bit-for-bit: same allocation order, same addresses, same request
+ * stream (partition selection draws no randomness);
  *  - striped stats counters (hits, inserts, queue traffic) updated
  *    transactionally on every request. Striping (worker t uses stripe
  *    t mod 8, summed at validation) mirrors how real services shard
@@ -53,6 +64,7 @@ class ServiceWorkload : public Workload
         _keys = _p.scaled(192, 16);
         _requests = _p.scaled(1600, 64);
         _warmSessions = _p.scaled(48, 8);
+        _parts = _p.servicePartitions < 1 ? 1 : _p.servicePartitions;
     }
 
     std::string name() const override { return "service"; }
@@ -79,16 +91,28 @@ class ServiceWorkload : public Workload
         for (Word k = 0; k < _keys; ++k)
             mem.writeWord(hitAddr(k), 0);
 
-        // Session table: small and resizable so the size word crosses
-        // its threshold under load (commit-time repaired growth).
-        _sessions = ds::SimHashtable::create(mem, *_alloc, 8, true);
+        // Session tables: P partitions, each small and resizable so
+        // the size words cross their thresholds under load
+        // (commit-time repaired growth). Warm sessions spread across
+        // partitions round-robin.
+        _sessions.clear();
+        for (unsigned part = 0; part < _parts; ++part)
+            _sessions.push_back(
+                ds::SimHashtable::create(mem, *_alloc, 8, true));
         for (Word w = 0; w < _warmSessions; ++w)
-            _sessions.hostInsert(mem, sessionKey(kWarmTid, w), w);
+            _sessions[w % _parts].hostInsert(
+                mem, sessionKey(kWarmTid, w), w);
 
-        // Work queue with a small standing backlog.
-        _jobs = ds::SimQueue::create(mem, *_alloc);
+        // Per-class work queues with a small standing backlog spread
+        // over the classes. Prefilled payload i+1 must live in its
+        // class queue ((i+1) mod P) or a class drainer could never
+        // reach it.
+        _jobs.clear();
+        _prefillSum = 0;
+        for (unsigned part = 0; part < _parts; ++part)
+            _jobs.push_back(ds::SimQueue::create(mem, *_alloc));
         for (Word i = 0; i < kPrefill; ++i) {
-            _jobs.hostEnqueue(mem, i + 1);
+            _jobs[(i + 1) % _parts].hostEnqueue(mem, i + 1);
             _prefillSum += i + 1;
         }
 
@@ -118,25 +142,34 @@ class ServiceWorkload : public Workload
             return {false, "per-key hit counters diverged"};
 
         // 2. Sessions: unique keys, so every insert must succeed and
-        //    land exactly once.
+        //    land exactly once. The count conserves across partition
+        //    tables (sums are interleaving-independent, so this holds
+        //    for any shards x banks x partitions point).
         if (_insertOk != _insertOps)
             return {false, "a unique session insert was rejected"};
         if (stripedSum(mem, kInserts) != _insertOk)
             return {false, "session counter diverged"};
-        if (_sessions.hostCountNodes(mem) != _warmSessions + _insertOk)
-            return {false, "session table lost or duplicated nodes"};
+        Word nodes = 0;
+        for (const ds::SimHashtable &t : _sessions)
+            nodes += t.hostCountNodes(mem);
+        if (nodes != _warmSessions + _insertOk)
+            return {false, "session tables lost or duplicated nodes"};
 
-        // 3. Queue conservation, by count and by payload sum.
+        // 3. Queue conservation across all class queues, by count and
+        //    by payload sum.
         if (stripedSum(mem, kEnqueued) != _enqOps ||
             stripedSum(mem, kEnqSum) != _enqSum)
             return {false, "enqueue counters diverged"};
         if (stripedSum(mem, kDequeued) != _deqOk ||
             stripedSum(mem, kDeqSum) != _deqSum)
             return {false, "dequeue counters diverged"};
-        Word queued = _jobs.hostCount(mem);
+        Word queued = 0, remaining = 0;
+        for (const ds::SimQueue &q : _jobs) {
+            queued += q.hostCount(mem);
+            remaining += hostQueuePayloadSum(mem, q);
+        }
         if (kPrefill + _enqOps != _deqOk + queued)
             return {false, "queue job count not conserved"};
-        Word remaining = hostQueuePayloadSum(mem);
         if (_prefillSum + _enqSum != _deqSum + remaining)
             return {false, "queue payload sum not conserved"};
         return {true, ""};
@@ -160,11 +193,12 @@ class ServiceWorkload : public Workload
 
     WorkloadParams _p;
     Word _keys, _requests, _warmSessions;
+    unsigned _parts = 1;
     std::unique_ptr<ds::SimAllocator> _alloc;
     Addr _statsBase = 0;
     Addr _hitsBase = 0;
-    ds::SimHashtable _sessions;
-    ds::SimQueue _jobs;
+    std::vector<ds::SimHashtable> _sessions; ///< One per partition.
+    std::vector<ds::SimQueue> _jobs;         ///< One per request class.
     Word _prefillSum = 0;
 
     // Host-side request accounting (single host thread; coroutines
@@ -201,10 +235,11 @@ class ServiceWorkload : public Workload
     }
 
     Word
-    hostQueuePayloadSum(const mem::SparseMemory &mem) const
+    hostQueuePayloadSum(const mem::SparseMemory &mem,
+                        const ds::SimQueue &q) const
     {
         Word sum = 0;
-        Addr node = mem.readWord(_jobs.base() +
+        Addr node = mem.readWord(q.base() +
                                  ds::SimQueue::kHead * kWordBytes);
         while (node != 0) {
             sum += mem.readWord(node +
@@ -226,23 +261,26 @@ class ServiceWorkload : public Workload
         co_return TxValue(1);
     }
 
-    /** 25%: session create — unique insert + stripe counter. */
+    /** 25%: session create — unique insert (into the worker's
+     *  partition table) + stripe counter. */
     Task<TxValue>
     sessionBody(Tx &tx, unsigned tid, Word key, Word value)
     {
         unsigned stripe = stripeOf(tid);
-        TxValue ins = co_await _sessions.insert(tx, tid, key, value);
+        TxValue ins =
+            co_await _sessions[tid % _parts].insert(tx, tid, key, value);
         TxValue cnt = co_await tx.load(statAddr(stripe, kInserts));
         co_await tx.store(statAddr(stripe, kInserts), tx.addv(cnt, ins));
         co_return ins;
     }
 
-    /** 12%: enqueue a job carrying the requested key as payload. */
+    /** 12%: enqueue a job carrying the requested key as payload, into
+     *  its request class's queue (payload mod P). */
     Task<TxValue>
     enqueueBody(Tx &tx, unsigned tid, Word payload)
     {
         unsigned stripe = stripeOf(tid);
-        co_await _jobs.enqueue(tx, tid, payload);
+        co_await _jobs[payload % _parts].enqueue(tx, tid, payload);
         TxValue n = co_await tx.load(statAddr(stripe, kEnqueued));
         co_await tx.store(statAddr(stripe, kEnqueued), tx.add(n, 1));
         TxValue s = co_await tx.load(statAddr(stripe, kEnqSum));
@@ -251,11 +289,13 @@ class ServiceWorkload : public Workload
         co_return TxValue(1);
     }
 
-    /** 8%: drain one job; counters only when one was present. */
+    /** 8%: drain one job from the worker's class queue; counters only
+     *  when one was present. */
     Task<TxValue>
-    dequeueBody(Tx &tx, unsigned stripe)
+    dequeueBody(Tx &tx, unsigned tid)
     {
-        TxValue got = co_await _jobs.dequeue(tx);
+        unsigned stripe = stripeOf(tid);
+        TxValue got = co_await _jobs[tid % _parts].dequeue(tx);
         if (tx.cmpv(got, rtc::CmpOp::EQ, TxValue(0)))
             co_return TxValue(0);
         Word payload = tx.reify(got) - 1;
@@ -301,9 +341,8 @@ class ServiceWorkload : public Workload
                     return enqueueBody(tx, tid, key + 1);
                 });
             } else {
-                unsigned stripe = stripeOf(tid);
-                TxValue got = co_await ctx.txn([this, stripe](Tx &tx) {
-                    return dequeueBody(tx, stripe);
+                TxValue got = co_await ctx.txn([this, tid](Tx &tx) {
+                    return dequeueBody(tx, tid);
                 });
                 if (got.concrete() != 0) {
                     ++_deqOk;

@@ -31,6 +31,18 @@ struct WorkloadParams {
     std::uint64_t seed = 1;
     double scale = 1.0;
 
+    /**
+     * Workload-side state partitioning for the `service` workload
+     * (ignored by the Table 2 set): the session hashtable and the job
+     * queue split into this many partitions — worker t serves session
+     * partition t mod P, a job lands in queue (payload mod P) (its
+     * "request class"). 1 (the default) is bit-identical to the
+     * unpartitioned layout; the conservation-based validation sums
+     * across partitions, so it holds for any P at any shard/bank
+     * count (see docs/workloads.md and docs/tuning.md).
+     */
+    unsigned servicePartitions = 1;
+
     /** Scaled size helper: max(min_value, round(base * scale)). */
     Word
     scaled(Word base, Word min_value = 1) const

@@ -2,7 +2,7 @@
 // configurations plus DATM, validate functional state, print speedups.
 //
 // Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
-//                   [scale] [nthreads] [workload]
+//                   [--backoff P] [scale] [nthreads] [workload]
 //   --quick       reduced-iteration mode for CI (small scale, 4 threads)
 //   --audit       attach the trace/reenact oracle to every run and fail
 //                 on any commit the validator cannot re-derive — for
@@ -14,6 +14,12 @@
 //   --mem-banks N run with N directory banks (contention unmodeled:
 //                 like --shards, results are bit-identical for any N
 //                 and --audit re-proves it commit by commit)
+//   --backoff P   NACK/abort retry backoff policy for every run
+//                 (none|linear|exp|prop — htm::BackoffConfig,
+//                 docs/tuning.md). Non-none policies change timing
+//                 only; validation and the audit must stay green,
+//                 and the `backoff` column reports the total extra
+//                 delay imposed across the row's configs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +63,7 @@ main(int argc, char **argv)
     bool audit = false;
     unsigned shards = 1;
     unsigned banks = 1;
+    htm::BackoffPolicy backoff = htm::BackoffPolicy::None;
     double scale = 0.25;
     unsigned nthreads = 8;
     const char *only = nullptr;
@@ -79,6 +86,13 @@ main(int argc, char **argv)
                 return 1;
             }
             banks = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--backoff") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--backoff requires a policy "
+                                     "(none|linear|exp|prop)\n");
+                return 1;
+            }
+            backoff = htm::backoffPolicyFromName(argv[++i]);
         } else if (positional == 0) {
             scale = std::atof(argv[i]);
             ++positional;
@@ -110,8 +124,12 @@ main(int argc, char **argv)
         std::printf("event queue sharded %u ways\n", shards);
     if (banks > 1)
         std::printf("directory banked %u ways\n", banks);
-    std::printf("%-18s %10s | %8s %8s %8s %8s | ok\n", "workload",
-                "seq-cyc", "eager", "lazy-vb", "retcon", "datm");
+    if (backoff != htm::BackoffPolicy::None)
+        std::printf("retry backoff: %s\n",
+                    htm::backoffPolicyName(backoff));
+    std::printf("%-18s %10s | %8s %8s %8s %8s | %10s | ok\n",
+                "workload", "seq-cyc", "eager", "lazy-vb", "retcon",
+                "datm", "backoff");
     bool all_ok = true;
     unsigned ran = 0;
     std::uint64_t chains_validated = 0;
@@ -133,6 +151,7 @@ main(int argc, char **argv)
         std::printf("%-18s %10llu |", name.c_str(),
                     (unsigned long long)seq);
         bool ok = true;
+        std::uint64_t backoff_cycles = 0;
         auto configs = api::paperConfigs();
         htm::TMConfig datm = api::eagerConfig();
         datm.mode = htm::TMMode::DATM;
@@ -144,6 +163,7 @@ main(int argc, char **argv)
                 continue;
             }
             cfg.tm = tm;
+            cfg.tm.backoff.policy = backoff;
             api::RunResult r = api::runOnce(cfg);
             double speedup = double(seq) / double(r.cycles);
             std::printf(" %8.2f", speedup);
@@ -160,9 +180,16 @@ main(int argc, char **argv)
                 chains_skipped += r.reenact.forwardedCommitsSkipped;
                 forward_links += r.reenact.forwardsChecked;
             }
+            backoff_cycles += r.machineStats.backoffCycles;
             std::fflush(stdout);
         }
-        std::printf(" | %s\n", ok ? "yes" : "NO");
+        if (backoff == htm::BackoffPolicy::None && backoff_cycles != 0) {
+            // The off switch must really be off (bit-identical runs).
+            std::printf(" (BACKOFF LEAK)");
+            ok = false;
+        }
+        std::printf(" | %10llu | %s\n",
+                    (unsigned long long)backoff_cycles, ok ? "yes" : "NO");
         all_ok = all_ok && ok;
     }
     if (ran == 0) {

@@ -6,12 +6,28 @@
 # skipped, and everything else must exist on disk relative to the
 # file containing the link (any #fragment is stripped first).
 #
+# Additionally enforces the documentation contract: the pages listed
+# in required_pages must exist AND be linked from README.md, so a
+# page can neither be deleted nor orphaned without CI noticing.
+#
 # Usage: tools/check_docs_links.sh   (from anywhere; repo-relative)
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 status=0
 checked=0
+
+required_pages="docs/architecture.md docs/trace-format.md \
+docs/repro-guide.md docs/workloads.md docs/tuning.md"
+for page in $required_pages; do
+    if [ ! -f "$repo_root/$page" ]; then
+        echo "MISSING: required page $page does not exist" >&2
+        status=1
+    elif ! grep -q "]($page" "$repo_root/README.md"; then
+        echo "ORPHANED: $page is not linked from README.md" >&2
+        status=1
+    fi
+done
 
 for doc in "$repo_root"/README.md "$repo_root"/docs/*.md; do
     [ -f "$doc" ] || continue
