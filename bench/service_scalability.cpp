@@ -30,6 +30,15 @@
  * this binary as a regression gate; bench/baselines pins the exact
  * numbers.
  *
+ * A second axis scales OUT instead of UP (PR 6, docs/fleet.md): the
+ * same fleet-wide core count split across a 2-cluster fleet
+ * (2 shards x 2 banks per cluster) at increasing cross-cluster
+ * request fractions. At fraction 0 the clusters run fully
+ * partitioned; raising it routes session/queue requests across the
+ * interconnect, so throughput degrades with wire latency and
+ * two-level commit-token round trips — the fleet_points array pins
+ * that degradation curve.
+ *
  * Usage: service_scalability [--quick] [--json PATH]
  *   --quick      CI sizing (scale 1.0, 32 threads — full Table 1;
  *                the service workload is cheap enough to simulate
@@ -86,10 +95,22 @@ struct Point {
     std::uint64_t schedDefers = 0;
 };
 
+/// One scale-OUT point: the same fleet-wide core count split across a
+/// 2-cluster fleet, swept over the cross-cluster request fraction.
+struct FleetPoint {
+    double xcFraction = 0;
+    Cycle cycles = 0;
+    double throughput = 0; ///< Commits per kilocycle (fleet-wide).
+    std::uint64_t xcTokenWaits = 0;
+    std::uint64_t netMessages = 0;
+    std::uint64_t netQueueCycles = 0;
+};
+
 /** Emit the measured points as one JSON document (perf trajectory). */
 void
 writeJson(const char *path, double scale, unsigned nthreads,
-          const std::vector<Point> &points, double gain)
+          const std::vector<Point> &points,
+          const std::vector<FleetPoint> &fleet, double gain)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -117,6 +138,21 @@ writeJson(const char *path, double scale, unsigned nthreads,
                      (unsigned long long)p.tokenWaits,
                      (unsigned long long)p.backoffCycles,
                      (unsigned long long)p.schedDefers);
+    }
+    std::fprintf(f, "],\"fleet_points\":[");
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        const FleetPoint &p = fleet[i];
+        std::fprintf(f,
+                     "%s{\"clusters\":2,\"xc_fraction\":%.2f,"
+                     "\"cycles\":%llu,"
+                     "\"commits_per_kcycle\":%.4f,"
+                     "\"xc_token_waits\":%llu,\"net_messages\":%llu,"
+                     "\"net_queue_cycles\":%llu}",
+                     i ? "," : "", p.xcFraction,
+                     (unsigned long long)p.cycles, p.throughput,
+                     (unsigned long long)p.xcTokenWaits,
+                     (unsigned long long)p.netMessages,
+                     (unsigned long long)p.netQueueCycles);
     }
     std::fprintf(f, "],\"throughput_gain\":%.4f}\n", gain);
     std::fclose(f);
@@ -251,6 +287,64 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    // Scale-out axis: split the same fleet-wide core count across a
+    // 2-cluster fleet (2 shards x 2 banks per cluster, conflict knobs
+    // on) and sweep the cross-cluster request fraction. Throughput
+    // must come down as more commits pay interconnect round trips for
+    // remote bank tokens — the baseline pins that curve.
+    std::vector<FleetPoint> fleet;
+    if (base.nthreads >= 4) {
+        api::RunConfig fbase = base;
+        fbase.clusters = 2;
+        fbase.nthreads = base.nthreads / 2; // Per-cluster on a fleet.
+        fbase.shards = 2;
+        fbase.memBanks = 2;
+        fbase.servicePartitions = 2;
+        fbase.tm.backoff.policy = htm::BackoffPolicy::Linear;
+        fbase.tm.backoff.base = kBackoffBase;
+        fbase.tm.backoff.cap = kBackoffCap;
+        fbase.contentionSched = true;
+        std::printf("fleet axis: 2 clusters x (%u cores, 2 shards, "
+                    "2 banks) vs cross-cluster fraction\n",
+                    fbase.nthreads);
+        for (double xc : {0.0, 0.1, 0.3}) {
+            api::RunConfig cfg = fbase;
+            cfg.crossClusterFraction = xc;
+            api::RunResult r = api::runOnce(cfg);
+            flagInvalid(r, "service");
+            all_ok = all_ok && r.validation.ok && r.reenact.ok() &&
+                     r.reenact.forwardedCommitsSkipped == 0;
+            if (!r.reenact.ok())
+                std::printf("!! reenactment audit: %s\n",
+                            r.reenact.summary().c_str());
+            if (xc > 0.0 && (r.net.messages == 0 ||
+                             r.machineStats.xcTokenWaits == 0)) {
+                // The point is meaningless if nothing crossed the
+                // wire or no commit waited on a remote token.
+                std::printf("!! fleet point xc=%.2f never exercised "
+                            "the interconnect\n", xc);
+                all_ok = false;
+            }
+            FleetPoint p;
+            p.xcFraction = xc;
+            p.cycles = r.cycles;
+            p.throughput = 1000.0 * double(r.coreStats.commits) /
+                           double(r.cycles);
+            p.xcTokenWaits = r.machineStats.xcTokenWaits;
+            p.netMessages = r.net.messages;
+            p.netQueueCycles = r.net.queueCycles;
+            fleet.push_back(p);
+            std::printf("  xc %.2f: %llu cycles, %.2f commits/kcycle, "
+                        "%llu xc token waits, %llu net messages, "
+                        "%llu net queue cycles\n",
+                        xc, (unsigned long long)p.cycles, p.throughput,
+                        (unsigned long long)p.xcTokenWaits,
+                        (unsigned long long)p.netMessages,
+                        (unsigned long long)p.netQueueCycles);
+        }
+        std::printf("\n");
+    }
+
     if (points.size() < 2) {
         // Nothing to compare (e.g. RETCON_THREADS=1 leaves only the
         // 1-shard point): not a scaling regression, just inapplicable.
@@ -258,7 +352,8 @@ main(int argc, char **argv)
                     "(got %zu)\n",
                     points.size());
         if (json_path)
-            writeJson(json_path, base.scale, base.nthreads, points, 0);
+            writeJson(json_path, base.scale, base.nthreads, points,
+                      fleet, 0);
         return all_ok ? 0 : 1;
     }
     const Point &first = points.front();
@@ -269,7 +364,8 @@ main(int argc, char **argv)
                 first.shards, first.banks, first.partitions, last.shards,
                 last.banks, last.partitions, gain);
     if (json_path)
-        writeJson(json_path, base.scale, base.nthreads, points, gain);
+        writeJson(json_path, base.scale, base.nthreads, points, fleet,
+                  gain);
     double min_gain = quick ? kMinGainQuick : 1.0;
     if (!(gain > min_gain) || !all_ok) {
         std::printf("FAIL: scale-out gain %.2fx below the %.2fx floor "

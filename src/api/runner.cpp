@@ -52,13 +52,19 @@ paperConfigs()
 RunResult
 runOnce(const RunConfig &cfg)
 {
+    sim_assert(cfg.clusters >= 1, "clusters must be >= 1");
     workloads::WorkloadParams params;
-    params.nthreads = cfg.nthreads;
+    params.nthreads = cfg.nthreads * cfg.clusters;
     params.seed = cfg.seed;
     params.scale = cfg.scale;
     params.servicePartitions = cfg.servicePartitions;
+    params.clusters = cfg.clusters;
+    params.crossClusterFraction = cfg.crossClusterFraction;
     auto workload = workloads::makeWorkload(cfg.workload, params);
 
+    // nthreads/shards/memBanks size ONE cluster; the Fleet multiplies
+    // them. At clusters == 1 the config passes through untouched and
+    // no interconnect is built — bit-identical to pre-fleet runs.
     exec::ClusterConfig ccfg;
     ccfg.numThreads = cfg.nthreads;
     ccfg.seed = cfg.seed;
@@ -75,7 +81,13 @@ runOnce(const RunConfig &cfg)
     // switch — honoring both means neither silently wins.
     ccfg.sched.enabled = cfg.contentionSched || cfg.sched.enabled;
 
-    exec::Cluster cluster(ccfg);
+    net::NetConfig ncfg;
+    ncfg.topology = net::topologyFromName(cfg.netTopology.c_str());
+    ncfg.linkLatency = cfg.netLatency;
+    ncfg.linkBandwidth = cfg.netBandwidth;
+
+    exec::Fleet fleet(ccfg, cfg.clusters, ncfg);
+    exec::Cluster &cluster = fleet.cluster();
 
     // Optional provenance/audit instrumentation. The sinks must
     // outlive the run; the validator reads architectural memory, so it
@@ -137,6 +149,7 @@ runOnce(const RunConfig &cfg)
         sum.schedObserved = sched.observed;
         sum.schedDefers = sched.defers;
         sum.schedDeferCycles = sched.deferCycles;
+        sum.schedRepairableSkips = sched.repairableSkips;
     }
 
     result.banks.resize(cluster.numBanks());
@@ -149,6 +162,25 @@ runOnce(const RunConfig &cfg)
         const auto &ts = cluster.machine().bankTokenStats(b);
         sum.tokenAcquires = ts.acquires;
         sum.tokenWaits = ts.waits;
+    }
+
+    result.clusterSummaries.resize(cfg.clusters);
+    for (unsigned c = 0; c < cfg.clusters; ++c)
+        result.clusterSummaries[c] = fleet.summarize(c);
+    if (const net::Interconnect *n = fleet.net()) {
+        result.net.messages = n->totalMessages();
+        result.net.payloadWords = n->totalPayloadWords();
+        result.net.queueCycles = n->totalQueueCycles();
+        result.net.links.resize(n->numLinks());
+        for (unsigned l = 0; l < n->numLinks(); ++l) {
+            const auto &ls = n->linkStats(l);
+            NetLinkSummary &sum = result.net.links[l];
+            sum.src = ls.src;
+            sum.dst = ls.dst;
+            sum.messages = ls.messages;
+            sum.payloadWords = ls.payloadWords;
+            sum.queueCycles = ls.queueCycles;
+        }
     }
 
     if (validator) {
@@ -185,6 +217,8 @@ sequentialCycles(const RunConfig &cfg)
     RunConfig seq = cfg;
     seq.nthreads = 1;
     seq.shards = 1; // A single core needs (and permits) one shard.
+    seq.clusters = 1;
+    seq.crossClusterFraction = 0.0;
     seq.tm = serialConfig();
     return runOnce(seq).cycles;
 }

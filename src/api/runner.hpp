@@ -19,6 +19,7 @@
 #include <string>
 
 #include "exec/cluster.hpp"
+#include "exec/fleet.hpp"
 #include "htm/machine.hpp"
 #include "trace/reenact.hpp"
 #include "workloads/workload.hpp"
@@ -108,6 +109,35 @@ struct RunConfig {
     /** Scheduler knobs. The scheduler engages when either this
      *  struct's own `enabled` or `contentionSched` above is set. */
     exec::SchedulerConfig sched{};
+
+    /**
+     * Clusters in the fleet (1 = the plain single-cluster machine,
+     * bit-identical to pre-fleet runs). With clusters > 1, nthreads /
+     * shards / memBanks / servicePartitions are PER-CLUSTER sizes —
+     * the fleet multiplies them — and fleet-wide totals must respect
+     * the machine limits (64 cores, 64 banks). Clusters interact only
+     * over the modeled interconnect: remote coherence misses, and the
+     * two-level commit protocol's remote-bank token messages (see
+     * docs/fleet.md).
+     */
+    unsigned clusters = 1;
+
+    /** Interconnect wiring: "crossbar" or "ring" (docs/fleet.md). */
+    std::string netTopology = "crossbar";
+
+    /** Cycles per interconnect link traversal (one hop). */
+    Cycle netLatency = 50;
+
+    /** Words/cycle per directed link; 0 = unlimited (no queueing). */
+    unsigned netBandwidth = 0;
+
+    /**
+     * Fraction of `service` requests whose session/queue accesses are
+     * routed to a uniformly-chosen remote cluster's state (0 = fully
+     * partitioned; ignored at clusters == 1, where the routing draw
+     * is never made).
+     */
+    double crossClusterFraction = 0.0;
 };
 
 /** Per-shard outcome of a run (one entry per event-queue shard). */
@@ -138,6 +168,9 @@ struct ShardSummary {
     std::uint64_t schedObserved = 0;
     std::uint64_t schedDefers = 0;
     std::uint64_t schedDeferCycles = 0;
+    /// Defers waived because the blamed block is repairable-class
+    /// (0 unless sched.skipRepairableBlame).
+    std::uint64_t schedRepairableSkips = 0;
 };
 
 /** Per-directory-bank outcome of a run (one entry per memory bank). */
@@ -150,6 +183,23 @@ struct BankSummary {
     /// Commit-token arbitration (0 unless tm.commitTokenArbitration).
     std::uint64_t tokenAcquires = 0; ///< Grants including this bank.
     std::uint64_t tokenWaits = 0;    ///< NACKs blamed on this bank.
+};
+
+/** One directed interconnect link's lifetime traffic. */
+struct NetLinkSummary {
+    unsigned src = 0;
+    unsigned dst = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t payloadWords = 0;
+    std::uint64_t queueCycles = 0; ///< Waits behind earlier traffic.
+};
+
+/** Fleet interconnect roll-up (all empty/zero at clusters == 1). */
+struct NetSummary {
+    std::uint64_t messages = 0;
+    std::uint64_t payloadWords = 0;
+    std::uint64_t queueCycles = 0;
+    std::vector<NetLinkSummary> links;
 };
 
 /** Everything a run produces. */
@@ -165,6 +215,12 @@ struct RunResult {
 
     /** One entry per directory bank (shard x bank crossbar columns). */
     std::vector<BankSummary> banks;
+
+    /** One entry per cluster (size 1 at clusters == 1). */
+    std::vector<exec::ClusterSummary> clusterSummaries;
+
+    /** Interconnect traffic (links empty at clusters == 1). */
+    NetSummary net;
 
     /**
      * Audit results (all-zero unless trace.enabled && validate).

@@ -13,6 +13,10 @@ queueConfig(const ClusterConfig &cfg)
     q.nshards = cfg.numShards;
     q.dispatchBandwidth = cfg.shardBandwidth;
     q.workStealing = cfg.shardWorkStealing;
+    // A fleet scopes work stealing to each cluster's shard slice:
+    // clusters share no dispatch capacity, only the wire.
+    if (cfg.fleet.fleet())
+        q.stealGroup = cfg.numShards / cfg.fleet.clusters;
     return q;
 }
 
@@ -25,9 +29,16 @@ Cluster::Cluster(const ClusterConfig &cfg)
                "thread count out of range");
     sim_assert(cfg.numShards >= 1 && cfg.numShards <= cfg.numThreads,
                "shard count out of range (1..numThreads)");
+    sim_assert(!cfg.fleet.fleet() ||
+                   (cfg.numShards % cfg.fleet.clusters == 0 &&
+                    cfg.net != nullptr),
+               "a fleet needs per-cluster shard slices and a wire");
     _ms = std::make_unique<mem::MemorySystem>(cfg.numThreads, cfg.timing,
-                                              cfg.caches, cfg.memBanks);
+                                              cfg.caches, cfg.memBanks,
+                                              cfg.fleet);
     _ms->setClock(&_eq); // Bank occupancy observes the global clock.
+    if (cfg.net)
+        _ms->setNet(cfg.net);
     htm::TMConfig tm = cfg.tm;
     if (tm.backoff.seed == 0) {
         // Inherit the cluster seed (plus a policy-private stream tag)
@@ -35,6 +46,8 @@ Cluster::Cluster(const ClusterConfig &cfg)
         tm.backoff.seed = cfg.seed ^ 0xb0ff0ff5eedull;
     }
     _tm = std::make_unique<htm::TMMachine>(_eq, *_ms, tm);
+    if (cfg.net)
+        _tm->setNet(cfg.net);
     _barrier = std::make_unique<Barrier>(cfg.numThreads);
     for (CoreId i = 0; i < cfg.numThreads; ++i)
         _cores.push_back(std::make_unique<Core>(
@@ -51,8 +64,15 @@ Cluster::Cluster(const ClusterConfig &cfg)
         });
         for (auto &core : _cores)
             core->setDeferHook([this](CoreId c) {
-                return _sched->deferDelay(shardOf(c),
-                                          _tm->abortBlame(c),
+                Addr blame = _tm->abortBlame(c);
+                // Predictor-aware skip: a conflict on a repairable-
+                // class (symbolically tracked) block is absorbed by
+                // pre-commit repair on retry — no de-phasing needed.
+                if (_cfg.sched.skipRepairableBlame && blame != 0 &&
+                    blame < htm::kTokenBlameBase &&
+                    _tm->wouldTrack(blame))
+                    return _sched->noteRepairableSkip(shardOf(c));
+                return _sched->deferDelay(shardOf(c), blame,
                                           _eq.now());
             });
     }

@@ -22,6 +22,7 @@
 #include "exec/scheduler.hpp"
 #include "htm/machine.hpp"
 #include "mem/memory_system.hpp"
+#include "net/interconnect.hpp"
 #include "sim/sharded_queue.hpp"
 
 namespace retcon::exec {
@@ -77,6 +78,22 @@ struct ClusterConfig {
      * Null disables tracing entirely — the zero-cost default.
      */
     trace::TraceSink *traceSink = nullptr;
+
+    /**
+     * Fleet partition of this machine (exec/fleet.hpp fills both in;
+     * hand-built clusters leave them defaulted). With a fleet
+     * topology, numThreads/numShards/memBanks are fleet-wide totals
+     * partitioned cluster-contiguously; cores map onto their own
+     * cluster's shard slice only, the directory homes each address on
+     * its owner cluster's bank slice, and every cross-cluster
+     * interaction is charged to @p net. A default topology (1
+     * cluster) with a null net is bit-identical to the pre-fleet
+     * machine.
+     */
+    net::FleetTopology fleet{};
+
+    /** Fleet interconnect (non-owning; null = single cluster). */
+    net::Interconnect *net = nullptr;
 };
 
 /** The assembled simulated machine. */
@@ -101,11 +118,16 @@ class Cluster
     unsigned numBanks() const { return _cfg.memBanks; }
     const ClusterConfig &config() const { return _cfg; }
 
-    /** Home event-queue shard of core @p i (round-robin placement). */
+    /** Home event-queue shard of core @p i: round-robin placement,
+     *  within the core's own cluster's shard slice in a fleet. */
     unsigned
     shardOf(CoreId i) const
     {
-        return i % _cfg.numShards;
+        if (!_cfg.fleet.fleet())
+            return i % _cfg.numShards;
+        unsigned per = _cfg.numShards / _cfg.fleet.clusters;
+        return _cfg.fleet.clusterOfCore(i) * per +
+               (i % _cfg.fleet.threadsPerCluster) % per;
     }
 
     /** Aggregate time breakdown over all cores. */

@@ -73,6 +73,19 @@ struct SchedulerConfig {
      * entries.
      */
     bool deferTokenBlame = false;
+
+    /**
+     * Predictor-aware deferral: skip deferring restarts whose abort
+     * blamed a *repairable-class* block — one the RETCON predictor
+     * currently selects for symbolic tracking (htm::TMMachine::
+     * wouldTrack). A conflict on a tracked block is absorbed by
+     * pre-commit repair on retry rather than re-aborting, so the
+     * restart does not need de-phasing and deferring it only adds
+     * latency. Off by default; the decision is made by the cluster's
+     * defer hook (the scheduler itself never sees the predictor), and
+     * skipped restarts are counted in Stats::repairableSkips.
+     */
+    bool skipRepairableBlame = false;
 };
 
 /** Per-shard hot-block tables + deferral decisions. */
@@ -84,6 +97,8 @@ class ContentionScheduler
         std::uint64_t observed = 0;    ///< Contention events fed.
         std::uint64_t defers = 0;      ///< Restarts deferred.
         std::uint64_t deferCycles = 0; ///< Total deferral imposed.
+        std::uint64_t repairableSkips = 0; ///< Defers waived because
+                                           ///< the blame is repairable.
     };
 
     ContentionScheduler(unsigned nshards, const SchedulerConfig &cfg)
@@ -134,6 +149,18 @@ class ContentionScheduler
         ++s.stats.defers;
         s.stats.deferCycles += d;
         return d;
+    }
+
+    /**
+     * Record (and waive) a deferral skipped under skipRepairableBlame:
+     * the blamed block is repairable-class, so the restart proceeds
+     * immediately. @return 0, the deferral imposed.
+     */
+    Cycle
+    noteRepairableSkip(unsigned shard)
+    {
+        ++_shards[shard].stats.repairableSkips;
+        return 0;
     }
 
     const Stats &stats(unsigned shard) const

@@ -116,6 +116,7 @@ TMMachine::TMMachine(const SimClock &clock, mem::MemorySystem &ms,
             _cfg, ms.cacheConfig().permOnly));
     _bankTokens.resize(ms.numBanks());
     _tokenWaitsByCore.assign(ms.numCores(), 0);
+    _xcTokenWaitsByCore.assign(ms.numCores(), 0);
     _nackStreak.assign(ms.numCores(), 0);
     _abortStreak.assign(ms.numCores(), 0);
     _conflictHeat.assign(ms.numCores(), 0);
@@ -1244,6 +1245,7 @@ bool
 TMMachine::acquireCommitTokens(CoreId core)
 {
     CoreTxState &st = *_cores[core];
+    _tokenWireLat = 0;
     if (st.commitTokensHeld)
         return true;
     if (!st.commitBankMaskValid) {
@@ -1252,14 +1254,24 @@ TMMachine::acquireCommitTokens(CoreId core)
     }
     std::uint64_t need = st.commitBankMask;
     std::uint64_t req_ts = effectiveTs(core, true);
+    const net::FleetTopology &topo = _ms.topology();
+    unsigned my = topo.clusterOfCore(core);
 
     // All-or-nothing, oldest-wins. An older holder makes us wait; a
     // younger holder is aborted (it releases its tokens and retries),
     // exactly mirroring the block-level conflict policy. Waits
     // therefore only ever run younger -> older, so the oldest
     // committer always progresses and arbitration cannot deadlock.
+    //
+    // Two-level in a fleet: the committer's own cluster's tokens are
+    // checked first with no wire cost — a local loss NACKs before any
+    // remote cluster is bothered. Only then are the remote clusters
+    // holding needed banks contacted, in parallel, one control round
+    // trip each; grant or NACK is learned from the slowest reply, so
+    // the wire cost (max RTT over contacted clusters) is paid either
+    // way and shows up in the commit step's latency.
     for (unsigned b = 0; b < _bankTokens.size(); ++b) {
-        if (!((need >> b) & 1))
+        if (!((need >> b) & 1) || topo.clusterOfBank(b) != my)
             continue;
         CoreId h = _bankTokens[b].holder;
         if (h == kNoCore || h == core)
@@ -1268,6 +1280,41 @@ TMMachine::acquireCommitTokens(CoreId core)
             ++_stats.tokenWaits;
             ++_bankTokens[b].stats.waits;
             ++_tokenWaitsByCore[core];
+            emitTrace(core, "token-wait", b, h);
+            audit(core, trace::EventKind::TokenWait, b, h, need);
+            if (_contention)
+                _contention(core, tokenBlameKey(b));
+            return false;
+        }
+    }
+    if (_net && topo.fleet()) {
+        for (unsigned c = 0; c < topo.clusters; ++c) {
+            if (c == my)
+                continue;
+            std::uint64_t cluster_banks =
+                need >> (c * topo.banksPerCluster);
+            cluster_banks &= (std::uint64_t(1) << topo.banksPerCluster) - 1;
+            if (!cluster_banks)
+                continue;
+            Cycle rtt = _net->roundTrip(my, c, net::kCtrlMsgWords,
+                                        net::kCtrlMsgWords, _eq.now());
+            _tokenWireLat = std::max(_tokenWireLat, rtt);
+            ++_stats.xcTokenMsgs;
+        }
+        _stats.xcTokenCycles += _tokenWireLat;
+    }
+    for (unsigned b = 0; b < _bankTokens.size(); ++b) {
+        if (!((need >> b) & 1) || topo.clusterOfBank(b) == my)
+            continue;
+        CoreId h = _bankTokens[b].holder;
+        if (h == kNoCore || h == core)
+            continue;
+        if (effectiveTs(h, true) < req_ts) {
+            ++_stats.tokenWaits;
+            ++_stats.xcTokenWaits;
+            ++_bankTokens[b].stats.waits;
+            ++_tokenWaitsByCore[core];
+            ++_xcTokenWaitsByCore[core];
             emitTrace(core, "token-wait", b, h);
             audit(core, trace::EventKind::TokenWait, b, h, need);
             if (_contention)
@@ -1380,13 +1427,13 @@ TMMachine::commitStep(CoreId core, bool is_retry)
         if (_cfg.commitTokenArbitration && _cfg.mode != TMMode::Serial &&
             !acquireCommitTokens(core)) {
             out.status = OpStatus::Nack;
-            out.latency = nackLatency(core);
+            out.latency = nackLatency(core) + _tokenWireLat;
             st.commitCycles += out.latency;
             return out;
         }
         if (st.commitPhase == 0) {
             st.commitPhase = 3;
-            out.latency = _cfg.commitTokenLatency;
+            out.latency = _cfg.commitTokenLatency + _tokenWireLat;
             st.commitCycles += out.latency;
             return out;
         }
@@ -1411,14 +1458,14 @@ TMMachine::commitStepRetcon(CoreId core, bool is_retry)
     if (st.commitPhase == 0) {
         if (_cfg.commitTokenArbitration && !acquireCommitTokens(core)) {
             out.status = OpStatus::Nack;
-            out.latency = nackLatency(core);
+            out.latency = nackLatency(core) + _tokenWireLat;
             st.commitCycles += out.latency;
             return out;
         }
         st.commitPhase = 1;
         st.commitIvbIdx = 0;
         st.commitSsbIdx = 0;
-        out.latency = _cfg.commitTokenLatency;
+        out.latency = _cfg.commitTokenLatency + _tokenWireLat;
         st.commitCycles += out.latency;
         return out;
     }

@@ -58,6 +58,12 @@ struct MachineStats {
     std::uint64_t tokenSteals = 0;   ///< Younger holders aborted by an
                                      ///< older committer (oldest-wins).
 
+    /// Two-level commit across the fleet interconnect (0 unless a
+    /// fleet is modeled — see acquireCommitTokens).
+    std::uint64_t xcTokenMsgs = 0;   ///< Remote-cluster token contacts.
+    std::uint64_t xcTokenWaits = 0;  ///< NACKs blamed on a remote bank.
+    std::uint64_t xcTokenCycles = 0; ///< Wire cycles spent on tokens.
+
     /// NACK/abort backoff (0 unless TMConfig::backoff.policy != None).
     std::uint64_t backoffNacks = 0;    ///< NACK retries delayed extra.
     std::uint64_t backoffRestarts = 0; ///< Post-abort restarts delayed.
@@ -125,6 +131,18 @@ class TMMachine : public mem::CoherenceListener
      */
     void setTraceSink(trace::TraceSink *sink) { _sink = sink; }
     trace::TraceSink *traceSink() const { return _sink; }
+
+    /**
+     * Attach the fleet interconnect (non-owning; null detaches, the
+     * single-cluster configuration). When attached, commit-token
+     * acquisition runs the two-level protocol: tokens for the
+     * committer's own cluster are checked locally, tokens homed on
+     * other clusters' banks are requested over the wire and the
+     * attempt pays the slowest contacted cluster's round trip —
+     * grant or NACK alike, since a NACK is only learned from the
+     * reply.
+     */
+    void setNet(net::Interconnect *net) { _net = net; }
 
     /** Emit a workload-level annotation into the provenance stream. */
     void userMark(CoreId core, Word id);
@@ -221,6 +239,12 @@ class TMMachine : public mem::CoherenceListener
         return _tokenWaitsByCore[core];
     }
 
+    /** Cross-cluster token waits charged to @p core (fleet only). */
+    std::uint64_t xcTokenWaits(CoreId core) const
+    {
+        return _xcTokenWaitsByCore[core];
+    }
+
     /**
      * Extra delay (cycles) the execution layer must wait before
      * restarting @p core's aborted transaction, per the configured
@@ -267,6 +291,15 @@ class TMMachine : public mem::CoherenceListener
     };
     std::vector<BankToken> _bankTokens;
     std::vector<std::uint64_t> _tokenWaitsByCore;
+    std::vector<std::uint64_t> _xcTokenWaitsByCore;
+
+    /// Fleet interconnect (null = single cluster, no wire costs).
+    net::Interconnect *_net = nullptr;
+
+    /// Wire latency of the most recent acquireCommitTokens attempt
+    /// (max round trip over the remote clusters it contacted); the
+    /// commit step adds it to the step latency on grant and NACK.
+    Cycle _tokenWireLat = 0;
 
     /// NACK/abort backoff state (all per core). Streaks reset at
     /// commit; the NACK streak additionally resets at abort (the

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/topology.hpp"
 #include "sim/logging.hpp"
 #include "sim/types.hpp"
 
@@ -89,11 +90,17 @@ class Directory
     /** At most 64 banks (commit-token sets are 64-bit masks). */
     static constexpr unsigned kMaxBanks = 64;
 
-    explicit Directory(unsigned num_banks = 1) : _banks(num_banks)
+    explicit Directory(unsigned num_banks = 1,
+                       const net::FleetTopology &topo = {})
+        : _banks(num_banks), _topo(topo)
     {
         sim_assert(num_banks >= 1 && num_banks <= kMaxBanks,
                    "directory bank count out of range (1..%u)",
                    kMaxBanks);
+        sim_assert(!_topo.fleet() ||
+                       _topo.clusters * _topo.banksPerCluster ==
+                           num_banks,
+                   "fleet bank partition must cover every bank");
     }
 
     unsigned numBanks() const
@@ -108,14 +115,28 @@ class Directory
      * across banks instead of camping on one; a plain low-order
      * interleave left one bank carrying most of the service
      * workload's stall cycles.
+     *
+     * In a fleet, a block homes on a bank of its address's home
+     * *cluster* (net::FleetTopology heap regions) and the hash picks
+     * among that cluster's banks only — so a cluster's state lives
+     * entirely behind its own directory slice and a remote access is
+     * structurally a visit to another cluster's bank. With one
+     * cluster this reduces to exactly the fleet-unaware interleave.
      */
     unsigned
     bankOf(Addr block) const
     {
         std::uint64_t idx = block / kBlockBytes;
         idx *= 0x9E3779B97F4A7C15ull;
-        return static_cast<unsigned>((idx >> 32) % _banks.size());
+        if (!_topo.fleet())
+            return static_cast<unsigned>((idx >> 32) % _banks.size());
+        unsigned cluster = _topo.clusterOfAddr(block);
+        return cluster * _topo.banksPerCluster +
+               static_cast<unsigned>((idx >> 32) %
+                                     _topo.banksPerCluster);
     }
+
+    const net::FleetTopology &topology() const { return _topo; }
 
     DirectoryBank &bank(unsigned b) { return _banks[b]; }
     const DirectoryBank &bank(unsigned b) const { return _banks[b]; }
@@ -171,6 +192,7 @@ class Directory
 
   private:
     std::vector<DirectoryBank> _banks;
+    net::FleetTopology _topo;
 };
 
 } // namespace retcon::mem

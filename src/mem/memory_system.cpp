@@ -7,12 +7,16 @@
 namespace retcon::mem {
 
 MemorySystem::MemorySystem(unsigned num_cores, const MemTimingConfig &timing,
-                           const CacheConfig &caches, unsigned num_banks)
+                           const CacheConfig &caches, unsigned num_banks,
+                           const net::FleetTopology &topo)
     : _numCores(num_cores), _timing(timing), _cacheConfig(caches),
-      _directory(num_banks)
+      _directory(num_banks, topo)
 {
     sim_assert(num_cores >= 1 && num_cores <= 64,
                "directory sharer mask supports at most 64 cores");
+    sim_assert(!topo.fleet() ||
+                   topo.clusters * topo.threadsPerCluster == num_cores,
+               "fleet core partition must cover every core");
     _cores.reserve(num_cores);
     for (unsigned i = 0; i < num_cores; ++i)
         _cores.emplace_back(caches);
@@ -57,6 +61,24 @@ MemorySystem::hasWritePerm(CoreId core, Addr block) const
 
 Cycle
 MemorySystem::peekLatency(CoreId core, Addr block, bool is_write) const
+{
+    Cycle lat = localLatency(core, block, is_write);
+    if (_net) {
+        const CoreCaches &cc = _cores[core];
+        bool perm = is_write ? _directory.hasWritePerm(block, core)
+                             : _directory.hasReadPerm(block, core);
+        bool hit = perm && (cc.l1.contains(block) || cc.l2.contains(block));
+        unsigned src = topology().clusterOfCore(core);
+        unsigned home = topology().clusterOfAddr(block);
+        if (!hit && src != home)
+            lat += _net->staticLatency(src, home, net::kCtrlMsgWords) +
+                   _net->staticLatency(home, src, net::kDataMsgWords);
+    }
+    return lat;
+}
+
+Cycle
+MemorySystem::localLatency(CoreId core, Addr block, bool is_write) const
 {
     const CoreCaches &cc = _cores[core];
     bool perm = is_write ? _directory.hasWritePerm(block, core)
@@ -138,7 +160,7 @@ MemorySystem::access(CoreId core, Addr block, bool is_write)
     sim_assert(blockAddr(block) == block, "access must be block-aligned");
 
     AccessResult res;
-    res.latency = peekLatency(core, block, is_write);
+    res.latency = localLatency(core, block, is_write);
 
     CoreCaches &cc = _cores[core];
     bool perm = is_write ? _directory.hasWritePerm(block, core)
@@ -165,6 +187,22 @@ MemorySystem::access(CoreId core, Addr block, bool is_write)
     // The miss visits the block's home directory bank; a busy bank
     // slips the request (0 when occupancy is unmodeled).
     res.latency += bankVisit(block);
+    // A miss homed on another cluster's bank pays the wire: a control
+    // request out, a data-bearing reply back, occupying the links it
+    // crosses (hot links queue later traffic).
+    if (_net) {
+        unsigned src = topology().clusterOfCore(core);
+        unsigned home = topology().clusterOfAddr(block);
+        if (src != home) {
+            Cycle now = _clock ? _clock->now() : 0;
+            Cycle wire = _net->roundTrip(src, home, net::kCtrlMsgWords,
+                                         net::kDataMsgWords, now);
+            res.latency += wire;
+            res.remoteCluster = true;
+            _stats.add("xc_accesses");
+            _stats.add("xc_access_cycles", static_cast<double>(wire));
+        }
+    }
     DirEntry pre = _directory.lookup(block);
 
     if (is_write) {

@@ -26,6 +26,7 @@
 #include "mem/cache.hpp"
 #include "mem/directory.hpp"
 #include "mem/sparse_memory.hpp"
+#include "net/interconnect.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -82,8 +83,9 @@ struct AccessResult {
     Cycle latency = 0;
     bool l1Hit = false;
     bool l2Hit = false;
-    bool remoteTransfer = false; ///< Data came cache-to-cache.
+    bool remoteTransfer = false;  ///< Data came cache-to-cache.
     bool dramAccess = false;
+    bool remoteCluster = false;   ///< Crossed the fleet interconnect.
 };
 
 /**
@@ -103,10 +105,20 @@ class MemorySystem
     };
 
     MemorySystem(unsigned num_cores, const MemTimingConfig &timing = {},
-                 const CacheConfig &caches = {}, unsigned num_banks = 1);
+                 const CacheConfig &caches = {}, unsigned num_banks = 1,
+                 const net::FleetTopology &topo = {});
 
     /** Register the (single) HTM-side listener. */
     void setListener(CoherenceListener *l) { _listener = l; }
+
+    /**
+     * Attach the fleet interconnect (non-owning; null detaches — the
+     * single-cluster configuration, where no access ever pays a wire
+     * crossing). When attached, a miss whose home directory bank lives
+     * on another cluster pays a request/data round trip over the wire
+     * on top of the protocol latency, occupying the links it crosses.
+     */
+    void setNet(net::Interconnect *net) { _net = net; }
 
     /**
      * Observe @p clock for bank-occupancy modeling (non-owning; null
@@ -125,6 +137,9 @@ class MemorySystem
     /**
      * Latency the access *would* take, with no state change. Used by
      * the RETCON pre-commit engine to cost reacquisition decisions.
+     * In a fleet, a miss to a remote cluster's bank includes the
+     * uncontended interconnect round trip (queueing is unknowable
+     * without performing the access, so the estimate is optimistic).
      */
     Cycle peekLatency(CoreId core, Addr block, bool is_write) const;
 
@@ -151,6 +166,12 @@ class MemorySystem
 
     /** Home directory bank of @p block. */
     unsigned bankOf(Addr block) const { return _directory.bankOf(block); }
+
+    /** The fleet partition this memory system is carved into. */
+    const net::FleetTopology &topology() const
+    {
+        return _directory.topology();
+    }
 
     const MemTimingConfig &timing() const { return _timing; }
 
@@ -180,6 +201,7 @@ class MemorySystem
     std::vector<CoreCaches> _cores;
     CoherenceListener *_listener = nullptr;
     const SimClock *_clock = nullptr;
+    net::Interconnect *_net = nullptr;
     StatSet _stats;
 
     /// Bank-occupancy model: per-bank busy-until cycle + counters.
@@ -197,6 +219,14 @@ class MemorySystem
      * the occupancy stall (0 when unmodeled or the bank is free).
      */
     Cycle bankVisit(Addr block);
+
+    /**
+     * Protocol latency of an access with no interconnect component —
+     * the single-cluster peekLatency. Both peekLatency (static wire
+     * estimate on top) and access (dynamic wire charge on top) build
+     * on this so the crossing is never counted twice.
+     */
+    Cycle localLatency(CoreId core, Addr block, bool is_write) const;
 };
 
 } // namespace retcon::mem

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fleet topology descriptor: how a multi-cluster fleet partitions the
+ * simulated machine's structural resources.
+ *
+ * A fleet of C clusters is simulated as one machine whose cores,
+ * event-queue shards, directory banks, and workload heap regions are
+ * partitioned C ways; "independent" means no structural resource is
+ * shared across a cluster boundary, and every cross-cluster
+ * interaction — a coherence request to a remote cluster's directory
+ * bank, a commit-token acquisition for a remote bank — is charged to
+ * the modeled interconnect (net/interconnect.hpp). With one cluster
+ * every mapping below degenerates to the single-cluster identity, so
+ * a 1-cluster fleet is bit-identical to a plain cluster run.
+ *
+ * Address homing is region-based: each cluster owns a fixed-stride
+ * slice of the workload heap starting at kClusterRegionBase, so a
+ * fleet-aware workload places cluster c's state in cluster c's region
+ * and the directory homes it on cluster c's banks. Addresses below
+ * the heap base (test scaffolding, globals) home on cluster 0, as
+ * does everything past the last region.
+ */
+
+#ifndef RETCON_NET_TOPOLOGY_HPP
+#define RETCON_NET_TOPOLOGY_HPP
+
+#include "sim/types.hpp"
+
+namespace retcon::net {
+
+/** First byte of cluster 0's heap region (== workloads' kHeapBase). */
+inline constexpr Addr kClusterRegionBase = 0x10000000;
+
+/**
+ * Bytes per cluster heap region. Sized for a full per-cluster
+ * allocator footprint: ds::SimAllocator lays out one arena PER THREAD
+ * plus a shared setup arena, so a cluster's workload state spans
+ * (nthreads + 1) x arena_bytes — up to 65 x 6 MiB at the 64-core
+ * machine limit. Memory is sparse, so the address range is free.
+ */
+inline constexpr Addr kClusterRegionBytes = 512 * 1024 * 1024;
+
+/** Structural partition of the fleet (all mappings are pure). */
+struct FleetTopology {
+    unsigned clusters = 1;
+    unsigned threadsPerCluster = 0; ///< Cores per cluster (0 = all).
+    unsigned banksPerCluster = 0;   ///< Directory banks per cluster.
+
+    bool fleet() const { return clusters > 1; }
+
+    /** Home cluster of core @p c (cores are cluster-contiguous). */
+    unsigned
+    clusterOfCore(CoreId c) const
+    {
+        return fleet() ? c / threadsPerCluster : 0;
+    }
+
+    /** Home cluster of directory bank @p b (banks cluster-contiguous). */
+    unsigned
+    clusterOfBank(unsigned b) const
+    {
+        return fleet() ? b / banksPerCluster : 0;
+    }
+
+    /** Home cluster of byte address @p a (heap-region ownership). */
+    unsigned
+    clusterOfAddr(Addr a) const
+    {
+        if (!fleet() || a < kClusterRegionBase)
+            return 0;
+        Addr region = (a - kClusterRegionBase) / kClusterRegionBytes;
+        return region >= clusters ? 0 : static_cast<unsigned>(region);
+    }
+
+    /** Base address of cluster @p c's heap region. */
+    static Addr
+    regionBase(unsigned c)
+    {
+        return kClusterRegionBase + Addr(c) * kClusterRegionBytes;
+    }
+};
+
+} // namespace retcon::net
+
+#endif // RETCON_NET_TOPOLOGY_HPP

@@ -101,17 +101,21 @@ ShardedEventQueue::pickExecutor(unsigned home, Cycle when)
         return -1;
     // Work-stealing fallback: a shard with no event due this cycle and
     // spare dispatch slots drains the busy shard. The rotating cursor
-    // spreads steals across idle shards deterministically.
-    for (unsigned probe = 0; probe < _cfg.nshards; ++probe) {
-        unsigned t = (_stealCursor + probe) % _cfg.nshards;
-        if (t == home || _dispatched[t] >= bw)
+    // spreads steals across idle shards deterministically. Candidates
+    // come from the home shard's steal group only — the whole machine
+    // by default, the home cluster's shards in a fleet.
+    unsigned group = _cfg.stealGroup ? _cfg.stealGroup : _cfg.nshards;
+    unsigned base = (home / group) * group;
+    for (unsigned probe = 0; probe < group; ++probe) {
+        unsigned t = base + (_stealCursor + probe) % group;
+        if (t == home || t >= _cfg.nshards || _dispatched[t] >= bw)
             continue;
         Cycle w;
         std::uint64_t q;
         bool has = _shards[t]->peekNext(w, q);
         if (has && w <= when)
             continue; // Busy itself this cycle; not a thief.
-        _stealCursor = (t + 1) % _cfg.nshards;
+        _stealCursor = (t + 1) % group;
         ++_stats[t].stolen;
         return static_cast<int>(t);
     }

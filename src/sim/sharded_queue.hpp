@@ -54,6 +54,15 @@ struct ShardedQueueConfig {
      * drain over-quota shards instead of letting the event slip.
      */
     bool workStealing = true;
+
+    /**
+     * Steal-group size: a shard only steals from shards in its own
+     * contiguous group of this many (0 = one machine-wide group, the
+     * single-cluster behaviour). A fleet sets this to the per-cluster
+     * shard count so an idle shard never drains another cluster's
+     * sequencer — clusters share no dispatch capacity, only the wire.
+     */
+    unsigned stealGroup = 0;
 };
 
 /** Cycle-ordered event queue sharded N ways under one global clock. */

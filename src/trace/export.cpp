@@ -63,6 +63,8 @@ writeJsonRecord(const Record &r, std::ostream &os)
     if (r.kind == EventKind::Commit)
         os << ",\"datm_forwarded\":"
            << ((r.aux & kCommitAuxDatmForwarded) ? "true" : "false");
+    if (r.kind == EventKind::UserMark)
+        os << ",\"annotation\":" << r.a;
     os << "}";
 }
 

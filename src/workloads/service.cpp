@@ -65,6 +65,11 @@ class ServiceWorkload : public Workload
         _requests = _p.scaled(1600, 64);
         _warmSessions = _p.scaled(48, 8);
         _parts = _p.servicePartitions < 1 ? 1 : _p.servicePartitions;
+        _clusters = _p.clusters < 1 ? 1 : _p.clusters;
+        // Per-mille routing probability; the draw itself is gated on
+        // a fleet being present so clusters == 1 stays bit-identical.
+        _xcPermille = static_cast<Word>(
+            _p.crossClusterFraction * 1000.0 + 0.5);
     }
 
     std::string name() const override { return "service"; }
@@ -73,47 +78,72 @@ class ServiceWorkload : public Workload
     setup(exec::Cluster &cluster) override
     {
         auto &mem = cluster.memory();
-        _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+        static_assert(kHeapBase == net::kClusterRegionBase,
+                      "cluster heap regions must start at the "
+                      "workload heap base");
+        // A cluster's allocator spans one arena per (fleet-wide)
+        // thread plus the shared setup arena; regions must not
+        // overlap or one cluster's nodes clobber another's state.
+        sim_assert((cluster.numThreads() + 1) * kArenaBytes <=
+                       net::kClusterRegionBytes,
+                   "cluster heap region too small for %u thread arenas",
+                   cluster.numThreads());
 
-        // Striped stats: six counters per stripe, one stripe per
-        // coherence block. Threads sharing a stripe still conflict
-        // (and RETCON repairs those adds); threads on different
-        // stripes proceed in parallel.
-        _statsBase = _alloc->allocShared(kStatStripes * kBlockBytes);
-        for (unsigned s = 0; s < kStatStripes; ++s)
-            for (unsigned i = 0; i < 6; ++i)
-                mem.writeWord(statAddr(s, i), 0);
-
-        // Per-key hit counters, packed (hot Zipfian head shares
-        // blocks; the predictor learns them fast).
-        _hitsBase = _alloc->allocShared(_keys * kWordBytes);
-        for (Word k = 0; k < _keys; ++k)
-            mem.writeWord(hitAddr(k), 0);
-
-        // Session tables: P partitions, each small and resizable so
-        // the size words cross their thresholds under load
-        // (commit-time repaired growth). Warm sessions spread across
-        // partitions round-robin.
+        // One full state set per cluster, allocated in that cluster's
+        // heap region so it homes on that cluster's directory banks.
+        // With one cluster this is exactly the pre-fleet layout (same
+        // allocator, same allocation order, same addresses).
+        _allocs.clear();
+        _statsBase.clear();
+        _hitsBase.clear();
         _sessions.clear();
-        for (unsigned part = 0; part < _parts; ++part)
-            _sessions.push_back(
-                ds::SimHashtable::create(mem, *_alloc, 8, true));
-        for (Word w = 0; w < _warmSessions; ++w)
-            _sessions[w % _parts].hostInsert(
-                mem, sessionKey(kWarmTid, w), w);
-
-        // Per-class work queues with a small standing backlog spread
-        // over the classes. Prefilled payload i+1 must live in its
-        // class queue ((i+1) mod P) or a class drainer could never
-        // reach it.
         _jobs.clear();
         _prefillSum = 0;
-        for (unsigned part = 0; part < _parts; ++part)
-            _jobs.push_back(ds::SimQueue::create(mem, *_alloc));
-        for (Word i = 0; i < kPrefill; ++i) {
-            _jobs[(i + 1) % _parts].hostEnqueue(mem, i + 1);
-            _prefillSum += i + 1;
+        for (unsigned cl = 0; cl < _clusters; ++cl) {
+            _allocs.push_back(std::make_unique<ds::SimAllocator>(
+                net::FleetTopology::regionBase(cl), kArenaBytes,
+                cluster.numThreads()));
+            ds::SimAllocator &alloc = *_allocs.back();
+
+            // Striped stats: six counters per stripe, one stripe per
+            // coherence block. Threads sharing a stripe still
+            // conflict (and RETCON repairs those adds); threads on
+            // different stripes proceed in parallel.
+            _statsBase.push_back(
+                alloc.allocShared(kStatStripes * kBlockBytes));
+            for (unsigned s = 0; s < kStatStripes; ++s)
+                for (unsigned i = 0; i < 6; ++i)
+                    mem.writeWord(statAddr(cl, s, i), 0);
+
+            // Per-key hit counters, packed (hot Zipfian head shares
+            // blocks; the predictor learns them fast).
+            _hitsBase.push_back(alloc.allocShared(_keys * kWordBytes));
+            for (Word k = 0; k < _keys; ++k)
+                mem.writeWord(hitAddr(cl, k), 0);
+
+            // Session tables: P partitions, each small and resizable
+            // so the size words cross their thresholds under load
+            // (commit-time repaired growth). Warm sessions spread
+            // across partitions round-robin; warm keys are salted by
+            // cluster so every warm session is globally unique.
+            for (unsigned part = 0; part < _parts; ++part)
+                _sessions.push_back(
+                    ds::SimHashtable::create(mem, alloc, 8, true));
+            for (Word w = 0; w < _warmSessions; ++w)
+                _sessions[cl * _parts + w % _parts].hostInsert(
+                    mem, sessionKey(kWarmTid + cl, w), w);
+
+            // Per-class work queues with a small standing backlog
+            // spread over the classes. Prefilled payload i+1 must
+            // live in its class queue ((i+1) mod P) or a class
+            // drainer could never reach it.
+            for (unsigned part = 0; part < _parts; ++part)
+                _jobs.push_back(ds::SimQueue::create(mem, alloc));
+            for (Word i = 0; i < kPrefill; ++i) {
+                _jobs[cl * _parts + (i + 1) % _parts].hostEnqueue(
+                    mem, i + 1);
+                _prefillSum += i + 1;
+            }
         }
 
         _viewOps = _insertOps = _insertOk = 0;
@@ -131,13 +161,19 @@ class ServiceWorkload : public Workload
     {
         const auto &mem = cluster.memory();
 
+        // All sums run fleet-wide — over every cluster's stripes,
+        // counters, tables, and queues — so conservation holds for
+        // any clusters x shards x banks x partitions point, including
+        // requests that committed against a remote cluster's state.
+
         // 1. Page views: the striped counters and the per-key counters
         //    must both account for every committed view exactly once.
         if (stripedSum(mem, kHits) != _viewOps)
             return {false, "hit counter diverged from request count"};
         Word perKey = 0;
-        for (Word k = 0; k < _keys; ++k)
-            perKey += mem.readWord(hitAddr(k));
+        for (unsigned cl = 0; cl < _clusters; ++cl)
+            for (Word k = 0; k < _keys; ++k)
+                perKey += mem.readWord(hitAddr(cl, k));
         if (perKey != _viewOps)
             return {false, "per-key hit counters diverged"};
 
@@ -152,7 +188,7 @@ class ServiceWorkload : public Workload
         Word nodes = 0;
         for (const ds::SimHashtable &t : _sessions)
             nodes += t.hostCountNodes(mem);
-        if (nodes != _warmSessions + _insertOk)
+        if (nodes != _warmSessions * _clusters + _insertOk)
             return {false, "session tables lost or duplicated nodes"};
 
         // 3. Queue conservation across all class queues, by count and
@@ -168,7 +204,7 @@ class ServiceWorkload : public Workload
             queued += q.hostCount(mem);
             remaining += hostQueuePayloadSum(mem, q);
         }
-        if (kPrefill + _enqOps != _deqOk + queued)
+        if (kPrefill * _clusters + _enqOps != _deqOk + queued)
             return {false, "queue job count not conserved"};
         if (_prefillSum + _enqSum != _deqSum + remaining)
             return {false, "queue payload sum not conserved"};
@@ -194,11 +230,14 @@ class ServiceWorkload : public Workload
     WorkloadParams _p;
     Word _keys, _requests, _warmSessions;
     unsigned _parts = 1;
-    std::unique_ptr<ds::SimAllocator> _alloc;
-    Addr _statsBase = 0;
-    Addr _hitsBase = 0;
-    std::vector<ds::SimHashtable> _sessions; ///< One per partition.
-    std::vector<ds::SimQueue> _jobs;         ///< One per request class.
+    unsigned _clusters = 1;
+    Word _xcPermille = 0;
+    /// Per-cluster state sets (index cl, or cl * _parts + part).
+    std::vector<std::unique_ptr<ds::SimAllocator>> _allocs;
+    std::vector<Addr> _statsBase;
+    std::vector<Addr> _hitsBase;
+    std::vector<ds::SimHashtable> _sessions; ///< Partition tables.
+    std::vector<ds::SimQueue> _jobs;         ///< Request-class queues.
     Word _prefillSum = 0;
 
     // Host-side request accounting (single host thread; coroutines
@@ -209,23 +248,28 @@ class ServiceWorkload : public Workload
     Word _deqOk = 0, _deqSum = 0;
 
     Addr
-    statAddr(unsigned stripe, unsigned i) const
+    statAddr(unsigned cl, unsigned stripe, unsigned i) const
     {
-        return _statsBase + stripe * kBlockBytes + i * kWordBytes;
+        return _statsBase[cl] + stripe * kBlockBytes + i * kWordBytes;
     }
 
     Word
     stripedSum(const mem::SparseMemory &mem, unsigned i) const
     {
         Word sum = 0;
-        for (unsigned s = 0; s < kStatStripes; ++s)
-            sum += mem.readWord(statAddr(s, i));
+        for (unsigned cl = 0; cl < _clusters; ++cl)
+            for (unsigned s = 0; s < kStatStripes; ++s)
+                sum += mem.readWord(statAddr(cl, s, i));
         return sum;
     }
 
     static unsigned stripeOf(unsigned tid) { return tid % kStatStripes; }
 
-    Addr hitAddr(Word k) const { return _hitsBase + k * kWordBytes; }
+    Addr
+    hitAddr(unsigned cl, Word k) const
+    {
+        return _hitsBase[cl] + k * kWordBytes;
+    }
 
     /** Unique session key: disjoint per tid, hashed to spread chains. */
     static Word
@@ -250,61 +294,92 @@ class ServiceWorkload : public Workload
         return sum;
     }
 
-    /** 55%: page view — bump the key's counter and the stripe's. */
+    /** 55%: page view — bump the key's counter and the stripe's.
+     *  Always home-cluster state. */
     Task<TxValue>
-    viewBody(Tx &tx, unsigned stripe, Word key)
+    viewBody(Tx &tx, unsigned home, unsigned stripe, Word key)
     {
-        TxValue h = co_await tx.load(hitAddr(key));
-        co_await tx.store(hitAddr(key), tx.add(h, 1));
-        TxValue total = co_await tx.load(statAddr(stripe, kHits));
-        co_await tx.store(statAddr(stripe, kHits), tx.add(total, 1));
+        TxValue h = co_await tx.load(hitAddr(home, key));
+        co_await tx.store(hitAddr(home, key), tx.add(h, 1));
+        TxValue total = co_await tx.load(statAddr(home, stripe, kHits));
+        co_await tx.store(statAddr(home, stripe, kHits),
+                          tx.add(total, 1));
         co_return TxValue(1);
     }
 
-    /** 25%: session create — unique insert (into the worker's
-     *  partition table) + stripe counter. */
+    /** 25%: session create — unique insert into @p target cluster's
+     *  partition table + home-stripe counter. A cross-cluster route
+     *  makes one transaction span two clusters' state, so its commit
+     *  needs tokens on both sides of the wire. */
     Task<TxValue>
-    sessionBody(Tx &tx, unsigned tid, Word key, Word value)
+    sessionBody(Tx &tx, unsigned tid, unsigned home, unsigned target,
+                Word key, Word value)
     {
         unsigned stripe = stripeOf(tid);
-        TxValue ins =
-            co_await _sessions[tid % _parts].insert(tx, tid, key, value);
-        TxValue cnt = co_await tx.load(statAddr(stripe, kInserts));
-        co_await tx.store(statAddr(stripe, kInserts), tx.addv(cnt, ins));
+        TxValue ins = co_await _sessions[target * _parts + tid % _parts]
+                          .insert(tx, tid, key, value);
+        TxValue cnt =
+            co_await tx.load(statAddr(home, stripe, kInserts));
+        co_await tx.store(statAddr(home, stripe, kInserts),
+                          tx.addv(cnt, ins));
         co_return ins;
     }
 
     /** 12%: enqueue a job carrying the requested key as payload, into
-     *  its request class's queue (payload mod P). */
+     *  @p target cluster's request-class queue (payload mod P). */
     Task<TxValue>
-    enqueueBody(Tx &tx, unsigned tid, Word payload)
+    enqueueBody(Tx &tx, unsigned tid, unsigned home, unsigned target,
+                Word payload)
     {
         unsigned stripe = stripeOf(tid);
-        co_await _jobs[payload % _parts].enqueue(tx, tid, payload);
-        TxValue n = co_await tx.load(statAddr(stripe, kEnqueued));
-        co_await tx.store(statAddr(stripe, kEnqueued), tx.add(n, 1));
-        TxValue s = co_await tx.load(statAddr(stripe, kEnqSum));
-        co_await tx.store(statAddr(stripe, kEnqSum),
+        co_await _jobs[target * _parts + payload % _parts].enqueue(
+            tx, tid, payload);
+        TxValue n = co_await tx.load(statAddr(home, stripe, kEnqueued));
+        co_await tx.store(statAddr(home, stripe, kEnqueued),
+                          tx.add(n, 1));
+        TxValue s = co_await tx.load(statAddr(home, stripe, kEnqSum));
+        co_await tx.store(statAddr(home, stripe, kEnqSum),
                           tx.add(s, static_cast<std::int64_t>(payload)));
         co_return TxValue(1);
     }
 
-    /** 8%: drain one job from the worker's class queue; counters only
-     *  when one was present. */
+    /** 8%: drain one job from @p target cluster's class queue;
+     *  counters only when one was present. */
     Task<TxValue>
-    dequeueBody(Tx &tx, unsigned tid)
+    dequeueBody(Tx &tx, unsigned tid, unsigned home, unsigned target)
     {
         unsigned stripe = stripeOf(tid);
-        TxValue got = co_await _jobs[tid % _parts].dequeue(tx);
+        TxValue got =
+            co_await _jobs[target * _parts + tid % _parts].dequeue(tx);
         if (tx.cmpv(got, rtc::CmpOp::EQ, TxValue(0)))
             co_return TxValue(0);
         Word payload = tx.reify(got) - 1;
-        TxValue n = co_await tx.load(statAddr(stripe, kDequeued));
-        co_await tx.store(statAddr(stripe, kDequeued), tx.add(n, 1));
-        TxValue s = co_await tx.load(statAddr(stripe, kDeqSum));
-        co_await tx.store(statAddr(stripe, kDeqSum),
+        TxValue n = co_await tx.load(statAddr(home, stripe, kDequeued));
+        co_await tx.store(statAddr(home, stripe, kDequeued),
+                          tx.add(n, 1));
+        TxValue s = co_await tx.load(statAddr(home, stripe, kDeqSum));
+        co_await tx.store(statAddr(home, stripe, kDeqSum),
                           tx.add(s, static_cast<std::int64_t>(payload)));
         co_return TxValue(payload + 1);
+    }
+
+    /**
+     * Route one session/queue request: the worker's home cluster,
+     * or — with probability crossClusterFraction in a fleet — a
+     * uniformly-chosen remote cluster. The draw only happens when a
+     * fleet is present AND the fraction is nonzero, so single-cluster
+     * runs (and fully-partitioned fleet runs) consume exactly the
+     * pre-fleet RNG stream.
+     */
+    unsigned
+    route(WorkerCtx &ctx, unsigned home)
+    {
+        if (_clusters <= 1 || _xcPermille == 0)
+            return home;
+        if (ctx.rng().below(1000) >= _xcPermille)
+            return home;
+        auto o = static_cast<unsigned>(ctx.rng().below(_clusters - 1));
+        return o >= home ? o + 1 : o;
     }
 
     Task<void>
@@ -312,6 +387,7 @@ class ServiceWorkload : public Workload
     {
         unsigned tid = ctx.tid();
         unsigned nt = ctx.nthreads();
+        unsigned home = tid / (nt / _clusters); ///< Cluster-contiguous.
         Word lo = _requests * tid / nt;
         Word hi = _requests * (tid + 1) / nt;
         Zipfian zipf(_keys);
@@ -323,27 +399,34 @@ class ServiceWorkload : public Workload
             if (op < 55) {
                 ++_viewOps;
                 unsigned stripe = stripeOf(tid);
-                co_await ctx.txn([this, stripe, key](Tx &tx) {
-                    return viewBody(tx, stripe, key);
+                co_await ctx.txn([this, home, stripe, key](Tx &tx) {
+                    return viewBody(tx, home, stripe, key);
                 });
             } else if (op < 80) {
                 ++_insertOps;
                 Word skey = sessionKey(tid, nextSession++);
-                TxValue ins =
-                    co_await ctx.txn([this, tid, skey, t](Tx &tx) {
-                        return sessionBody(tx, tid, skey, t);
+                unsigned target = route(ctx, home);
+                TxValue ins = co_await ctx.txn(
+                    [this, tid, home, target, skey, t](Tx &tx) {
+                        return sessionBody(tx, tid, home, target, skey,
+                                           t);
                     });
                 _insertOk += ins.concrete();
             } else if (op < 92) {
                 ++_enqOps;
                 _enqSum += key + 1;
-                co_await ctx.txn([this, tid, key](Tx &tx) {
-                    return enqueueBody(tx, tid, key + 1);
-                });
+                unsigned target = route(ctx, home);
+                co_await ctx.txn(
+                    [this, tid, home, target, key](Tx &tx) {
+                        return enqueueBody(tx, tid, home, target,
+                                           key + 1);
+                    });
             } else {
-                TxValue got = co_await ctx.txn([this, tid](Tx &tx) {
-                    return dequeueBody(tx, tid);
-                });
+                unsigned target = route(ctx, home);
+                TxValue got = co_await ctx.txn(
+                    [this, tid, home, target](Tx &tx) {
+                        return dequeueBody(tx, tid, home, target);
+                    });
                 if (got.concrete() != 0) {
                     ++_deqOk;
                     _deqSum += got.concrete() - 1;

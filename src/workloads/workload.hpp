@@ -43,6 +43,25 @@ struct WorkloadParams {
      */
     unsigned servicePartitions = 1;
 
+    /**
+     * Fleet width (api::RunConfig::clusters): the `service` workload
+     * replicates its whole state set — stripes, hit counters, session
+     * tables, class queues — once per cluster, placing cluster c's
+     * copy in cluster c's heap region so it homes on that cluster's
+     * directory banks. nthreads here is the fleet-wide total
+     * (clusters x per-cluster threads). 1 (the default) is
+     * bit-identical to the pre-fleet layout.
+     */
+    unsigned clusters = 1;
+
+    /**
+     * Fraction of service requests whose session/queue accesses are
+     * routed to a uniformly-chosen remote cluster's state; page views
+     * always stay home. 0 = fully partitioned. At clusters == 1 the
+     * routing draw is never made (bit-identity).
+     */
+    double crossClusterFraction = 0.0;
+
     /** Scaled size helper: max(min_value, round(base * scale)). */
     Word
     scaled(Word base, Word min_value = 1) const

@@ -2,7 +2,8 @@
 // configurations plus DATM, validate functional state, print speedups.
 //
 // Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
-//                   [--backoff P] [scale] [nthreads] [workload]
+//                   [--backoff P] [--clusters N] [--xc-fraction F]
+//                   [scale] [nthreads] [workload]
 //   --quick       reduced-iteration mode for CI (small scale, 4 threads)
 //   --audit       attach the trace/reenact oracle to every run and fail
 //                 on any commit the validator cannot re-derive — for
@@ -20,6 +21,16 @@
 //                 only; validation and the audit must stay green,
 //                 and the `backoff` column reports the total extra
 //                 delay imposed across the row's configs.
+//   --clusters N  run every workload on an N-cluster fleet
+//                 (docs/fleet.md): nthreads/shards/mem-banks become
+//                 per-cluster sizes, commit-token arbitration engages
+//                 (the two-level commit protocol needs tokens), and
+//                 the sweep fails unless the fleet actually exercised
+//                 the wire — cross-cluster token waits and interconnect
+//                 messages must both be nonzero.
+//   --xc-fraction F  fraction of service requests routed to a remote
+//                 cluster's state (default 0.25 when --clusters > 1;
+//                 ignored at one cluster).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,15 +51,19 @@ namespace {
  * yada's cascade storms stop converging inside the cycle bound
  * beyond tiny inputs. The python interpreter mix livelocks at any
  * scale — its long refcount transactions forward constantly and
- * cascade-abort each other indefinitely.
+ * cascade-abort each other indefinitely. A fleet makes the cascades
+ * strictly worse for the borderline pair: interconnect latency
+ * stretches every transaction, so intruder/yada's abort storms leak
+ * arenas at any scale once clusters > 1.
  */
 bool
-datmUnsupported(const std::string &name, double scale)
+datmUnsupported(const std::string &name, double scale,
+                unsigned clusters)
 {
     if (name.rfind("python", 0) == 0)
         return true;
     if (name == "intruder" || name == "yada")
-        return scale > 0.1;
+        return clusters > 1 || scale > 0.1;
     if (name == "service")
         return scale > 0.5;
     return false;
@@ -63,6 +78,8 @@ main(int argc, char **argv)
     bool audit = false;
     unsigned shards = 1;
     unsigned banks = 1;
+    unsigned clusters = 1;
+    double xc_fraction = -1.0; // < 0: default per cluster count.
     htm::BackoffPolicy backoff = htm::BackoffPolicy::None;
     double scale = 0.25;
     unsigned nthreads = 8;
@@ -86,6 +103,19 @@ main(int argc, char **argv)
                 return 1;
             }
             banks = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--clusters") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--clusters requires a count\n");
+                return 1;
+            }
+            clusters = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--xc-fraction") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--xc-fraction requires a fraction\n");
+                return 1;
+            }
+            xc_fraction = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--backoff") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--backoff requires a policy "
@@ -119,11 +149,24 @@ main(int argc, char **argv)
         banks = 1;
     if (banks > 64)
         banks = 64;
+    if (clusters < 1)
+        clusters = 1;
+    // Fleet-wide totals must respect the machine limits (64 cores,
+    // 64 banks); nthreads and banks are per-cluster sizes here.
+    while (clusters > 1 &&
+           (clusters * nthreads > 64 || clusters * banks > 64))
+        --clusters;
+    if (xc_fraction < 0.0)
+        xc_fraction = clusters > 1 ? 0.25 : 0.0;
 
     if (shards > 1)
         std::printf("event queue sharded %u ways\n", shards);
     if (banks > 1)
         std::printf("directory banked %u ways\n", banks);
+    if (clusters > 1)
+        std::printf("fleet: %u clusters (%u cores, %u banks each), "
+                    "xc-fraction %.2f\n",
+                    clusters, nthreads, banks, xc_fraction);
     if (backoff != htm::BackoffPolicy::None)
         std::printf("retry backoff: %s\n",
                     htm::backoffPolicyName(backoff));
@@ -135,6 +178,9 @@ main(int argc, char **argv)
     std::uint64_t chains_validated = 0;
     std::uint64_t chains_skipped = 0;
     std::uint64_t forward_links = 0;
+    std::uint64_t xc_token_waits = 0;
+    std::uint64_t net_messages = 0;
+    std::uint64_t net_queue_cycles = 0;
     for (const auto &name : workloads::extendedWorkloadNames()) {
         if (only && name != only)
             continue;
@@ -145,6 +191,8 @@ main(int argc, char **argv)
         cfg.scale = scale;
         cfg.shards = shards;
         cfg.memBanks = banks;
+        cfg.clusters = clusters;
+        cfg.crossClusterFraction = xc_fraction;
         cfg.trace.enabled = audit;
         cfg.trace.ringCapacity = 0; // Audit only; no event retention.
         Cycle seq = api::sequentialCycles(cfg);
@@ -158,12 +206,17 @@ main(int argc, char **argv)
         configs.push_back({"datm", datm});
         for (auto &[label, tm] : configs) {
             if (tm.mode == htm::TMMode::DATM &&
-                datmUnsupported(name, scale)) {
+                datmUnsupported(name, scale, clusters)) {
                 std::printf(" %8s", "-");
                 continue;
             }
             cfg.tm = tm;
             cfg.tm.backoff.policy = backoff;
+            // The two-level commit protocol is the fleet's whole
+            // point: remote bank tokens must cross the wire, so
+            // arbitration is always modeled on a fleet.
+            if (clusters > 1)
+                cfg.tm.commitTokenArbitration = true;
             api::RunResult r = api::runOnce(cfg);
             double speedup = double(seq) / double(r.cycles);
             std::printf(" %8.2f", speedup);
@@ -181,6 +234,9 @@ main(int argc, char **argv)
                 forward_links += r.reenact.forwardsChecked;
             }
             backoff_cycles += r.machineStats.backoffCycles;
+            xc_token_waits += r.machineStats.xcTokenWaits;
+            net_messages += r.net.messages;
+            net_queue_cycles += r.net.queueCycles;
             std::fflush(stdout);
         }
         if (backoff == htm::BackoffPolicy::None && backoff_cycles != 0) {
@@ -196,6 +252,24 @@ main(int argc, char **argv)
         std::fprintf(stderr, "no workload matched '%s'\n",
                      only ? only : "");
         return 1;
+    }
+    if (clusters > 1) {
+        std::printf("fleet: %llu cross-cluster token waits, %llu net "
+                    "messages, %llu net queue cycles\n",
+                    (unsigned long long)xc_token_waits,
+                    (unsigned long long)net_messages,
+                    (unsigned long long)net_queue_cycles);
+        if (net_messages == 0) {
+            std::printf("FAIL: a multi-cluster sweep never crossed "
+                        "the interconnect\n");
+            all_ok = false;
+        }
+        if (!only && xc_fraction > 0.0 && xc_token_waits == 0) {
+            std::printf("FAIL: no commit ever waited on a remote "
+                        "bank token — the two-level commit protocol "
+                        "was vacuous\n");
+            all_ok = false;
+        }
     }
     if (audit) {
         std::printf("audit: %llu datm-forwarded commits re-derived "

@@ -227,6 +227,39 @@ TEST(Contention, SchedulerOffReportsZeroDefers)
     }
 }
 
+TEST(Contention, RepairableBlameSkipDropsDefersOnServiceMix)
+{
+    // skipRepairableBlame: a restart whose last abort blamed a
+    // tracked (repairable-class) block needs no de-phasing — RETCON's
+    // pre-commit repair absorbs that conflict — so waiving those
+    // deferrals must record skips, lower the defer count, and cost
+    // nothing in validity or audit cleanliness.
+    api::RunConfig base = serviceConfig(1, 4, 4);
+    base.contentionSched = true;
+    api::RunResult defer = api::runOnce(base);
+
+    api::RunConfig waive = base;
+    waive.sched.skipRepairableBlame = true;
+    api::RunResult skip = api::runOnce(waive);
+
+    std::uint64_t defers = 0, skips = 0;
+    for (const api::ShardSummary &s : defer.shards) {
+        defers += s.schedDefers;
+        EXPECT_EQ(s.schedRepairableSkips, 0u) << "skips without knob";
+    }
+    std::uint64_t skipDefers = 0;
+    for (const api::ShardSummary &s : skip.shards) {
+        skipDefers += s.schedDefers;
+        skips += s.schedRepairableSkips;
+    }
+    EXPECT_GT(defers, 0u) << "vacuous: scheduler never deferred";
+    EXPECT_GT(skips, 0u) << "no repairable-class blame was waived";
+    EXPECT_LT(skipDefers, defers)
+        << "waiving repairable blame did not drop deferrals";
+    EXPECT_TRUE(skip.validation.ok) << skip.validation.note;
+    EXPECT_TRUE(skip.reenact.ok()) << skip.reenact.summary();
+}
+
 TEST(Contention, SchedulerEngagedCatchesCorruptedRepair)
 {
     // The negative control must survive the new timing: a fault-

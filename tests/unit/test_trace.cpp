@@ -280,6 +280,45 @@ TEST(TraceExport, JsonAndCsvCoverAllRetainedRecords)
               std::string::npos);
 }
 
+TEST(TraceExport, AnnotationMarksRoundTripThroughJson)
+{
+    // WorkerCtx::annotate stamps a UserMark record into the stream;
+    // the JSON export must surface the mark id in a dedicated
+    // `annotation` field so consumers can correlate workload phases
+    // with machine events (docs/trace-format.md).
+    ClusterConfig cfg;
+    cfg.numThreads = 2;
+    trace::TraceRecorder ring(1 << 10);
+    Cluster cluster(cfg);
+    cluster.setTraceSink(&ring);
+    cluster.start([](WorkerCtx &ctx) -> Task<void> {
+        ctx.annotate(0xBEE5 + ctx.tid());
+        co_await ctx.txn([](Tx &tx) { return incrementBody(tx); });
+        ctx.annotate(0xD0CE);
+        co_await ctx.barrier();
+    });
+    cluster.run();
+
+    std::uint64_t marks = 0;
+    ring.forEach([&](const trace::Record &r) {
+        marks += r.kind == trace::EventKind::UserMark;
+    });
+    EXPECT_EQ(marks, 4u); // Two per thread.
+
+    std::ostringstream json;
+    trace::exportJson(ring, json);
+    EXPECT_NE(json.str().find("\"kind\":\"mark\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"annotation\":" +
+                              std::to_string(0xBEE5)),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"annotation\":" +
+                              std::to_string(0xD0CE)),
+              std::string::npos);
+    // Non-mark records must not carry the field.
+    EXPECT_EQ(json.str().find("\"kind\":\"commit\",\"annotation\""),
+              std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // DATM forwarding visibility
 // ---------------------------------------------------------------------

@@ -103,6 +103,30 @@ def check_service(base, fresh, tol, rep):
                      f"{delta:+.1%} (tolerance +/-{tol:.0%})")
     for key in sorted(set(fresh_pts) - set(base_pts)):
         rep.line(f"  note: new point {key[0]}x{key[1]} has no baseline")
+    # The fleet axis (2-cluster scale-out, docs/fleet.md) is keyed by
+    # cross-cluster fraction; the same deterministic two-sided band
+    # applies.
+    base_fleet = {p.get("xc_fraction"): p
+                  for p in base.get("fleet_points", [])}
+    fresh_fleet = {p.get("xc_fraction"): p
+                   for p in fresh.get("fleet_points", [])}
+    for xc, bp in sorted(base_fleet.items()):
+        fp = fresh_fleet.get(xc)
+        label = f"fleet xc={xc:.2f}"
+        if fp is None:
+            rep.fail(f"service point {label} missing from fresh run")
+            continue
+        b, f = bp["commits_per_kcycle"], fp["commits_per_kcycle"]
+        delta = (f - b) / b if b else 0.0
+        verdict = "ok" if abs(delta) <= tol else (
+            "REGRESSED" if delta < 0 else "CHANGED (update baseline)")
+        rep.line(f"  {label}: {b:.4f} -> {f:.4f} commits/kcycle "
+                 f"({delta:+.1%}) {verdict}")
+        if verdict != "ok":
+            rep.fail(f"service throughput at {label} changed "
+                     f"{delta:+.1%} (tolerance +/-{tol:.0%})")
+    for xc in sorted(set(fresh_fleet) - set(base_fleet)):
+        rep.line(f"  note: new fleet point xc={xc:.2f} has no baseline")
     bg, fg = base.get("throughput_gain"), fresh.get("throughput_gain")
     if bg is not None and fg is not None and bg > 0:
         delta = (fg - bg) / bg
