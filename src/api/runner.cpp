@@ -1,5 +1,7 @@
 #include "api/runner.hpp"
 
+#include <chrono>
+
 #include "sim/logging.hpp"
 #include "trace/export.hpp"
 #include "trace/shard_mux.hpp"
@@ -73,6 +75,7 @@ runOnce(const RunConfig &cfg)
     ccfg.numShards = cfg.shards;
     ccfg.shardBandwidth = cfg.shardBandwidth;
     ccfg.shardWorkStealing = cfg.shardWorkStealing;
+    ccfg.hostThreads = cfg.hostThreads;
     ccfg.memBanks = cfg.memBanks;
     ccfg.timing.bankOccupancy = cfg.memBankOccupancy;
     ccfg.sched = cfg.sched;
@@ -115,7 +118,16 @@ runOnce(const RunConfig &cfg)
     cluster.start(workload->program());
 
     RunResult result;
+    auto host0 = std::chrono::steady_clock::now();
     result.cycles = cluster.run();
+    result.hostParallel.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host0)
+            .count();
+    if (const ParallelEngine *eng = cluster.engine()) {
+        result.hostParallel.threads = eng->stats().workers;
+        result.hostParallel.barrierStalls = eng->stats().stalls;
+    }
     result.breakdown = cluster.aggregateBreakdown();
     result.coreStats = cluster.aggregateStats();
     result.machineStats = cluster.machine().stats();

@@ -77,6 +77,16 @@ struct RunConfig {
     bool shardWorkStealing = true;
 
     /**
+     * Host threads driving the simulation (0/1 = sequential engine;
+     * >= 2 runs the conservative host-parallel engine on
+     * min(hostThreads, shards) threads). Purely host-side: simulated
+     * results, traces, and audit verdicts are bit-identical for any
+     * value — a contract enforced by tests/unit/test_parallel_engine
+     * (see docs/parallel-engine.md).
+     */
+    unsigned hostThreads = 0;
+
+    /**
      * Directory banks in the memory system (1..64). Performance-
      * transparent (bit-identical results for any count) unless bank
      * contention is modeled: memBankOccupancy models directory-bank
@@ -202,6 +212,18 @@ struct NetSummary {
     std::vector<NetLinkSummary> links;
 };
 
+/**
+ * Host-side execution metadata: how the simulation ran, never what it
+ * computed. Excluded from determinism fingerprints by design — wall
+ * time and stall counts are timing-dependent even when every simulated
+ * result is bit-identical.
+ */
+struct HostParallelSummary {
+    unsigned threads = 1;   ///< Engine worker threads (1 = sequential).
+    double wallMs = 0.0;    ///< Host wall-clock time of the run.
+    std::uint64_t barrierStalls = 0; ///< Holder waits on in-flight mail.
+};
+
 /** Everything a run produces. */
 struct RunResult {
     Cycle cycles = 0;
@@ -232,6 +254,9 @@ struct RunResult {
     trace::ReenactReport reenact;
     /** Events seen by the trace subsystem (0 unless enabled). */
     std::uint64_t traceEvents = 0;
+
+    /** Host-side engine metadata (not part of simulated results). */
+    HostParallelSummary hostParallel;
 };
 
 /** Baseline HTM of §2: eager + oldest-wins. */

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Debug-only enforcement of single-writer threading contracts.
+ *
+ * Several hot model structures (trace::ShardMux's lifetime counters,
+ * exec::ContentionScheduler's hot-block tables) are written from event
+ * callbacks with no locking. That is sound because callbacks execute
+ * strictly one at a time: sequentially on the driving thread, or under
+ * the host-parallel engine's migrating dispatch token, whose
+ * release/acquire handoff orders every callback's plain accesses
+ * (sim/parallel_engine.hpp, docs/parallel-engine.md). The contract is
+ * easy to break silently — a future engine change that overlaps
+ * callbacks would corrupt these counters long before any test notices
+ * — so debug builds enforce it: a SerialSection::Scope panics the
+ * moment two threads are inside the same section at once.
+ *
+ * Release builds (NDEBUG) compile both macros away to nothing; the
+ * guarded paths stay lock- and atomic-free.
+ *
+ * Usage:
+ *   struct Thing {
+ *       RETCON_SERIAL_SECTION(_serial); // member declaration
+ *       void hotPath() {
+ *           RETCON_SERIAL_SCOPE(_serial, "Thing::hotPath");
+ *           ...plain writes...
+ *       }
+ *   };
+ */
+
+#ifndef RETCON_SIM_SERIAL_GUARD_HPP
+#define RETCON_SIM_SERIAL_GUARD_HPP
+
+#ifndef NDEBUG
+
+#include <atomic>
+
+#include "sim/logging.hpp"
+
+namespace retcon::sim {
+
+/** One single-writer section; pair with SerialSection::Scope. */
+class SerialSection
+{
+  public:
+    class Scope
+    {
+      public:
+        Scope(SerialSection &s, const char *what) : _s(s)
+        {
+            sim_assert(
+                !_s._busy.exchange(true, std::memory_order_acquire),
+                "threading contract violated: concurrent entry into "
+                "%s (single-writer section)",
+                what);
+        }
+        ~Scope() { _s._busy.store(false, std::memory_order_release); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SerialSection &_s;
+    };
+
+  private:
+    std::atomic<bool> _busy{false};
+};
+
+} // namespace retcon::sim
+
+#define RETCON_SERIAL_SECTION(name) ::retcon::sim::SerialSection name
+#define RETCON_SERIAL_SCOPE(section, what)                                \
+    ::retcon::sim::SerialSection::Scope retcon_serial_scope_(section,     \
+                                                             what)
+
+#else // NDEBUG
+
+#define RETCON_SERIAL_SECTION(name) static_assert(true, "")
+#define RETCON_SERIAL_SCOPE(section, what) static_assert(true, "")
+
+#endif // NDEBUG
+
+#endif // RETCON_SIM_SERIAL_GUARD_HPP

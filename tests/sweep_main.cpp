@@ -3,7 +3,7 @@
 //
 // Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
 //                   [--backoff P] [--clusters N] [--xc-fraction F]
-//                   [scale] [nthreads] [workload]
+//                   [--host-threads N] [scale] [nthreads] [workload]
 //   --quick       reduced-iteration mode for CI (small scale, 4 threads)
 //   --audit       attach the trace/reenact oracle to every run and fail
 //                 on any commit the validator cannot re-derive — for
@@ -31,9 +31,25 @@
 //   --xc-fraction F  fraction of service requests routed to a remote
 //                 cluster's state (default 0.25 when --clusters > 1;
 //                 ignored at one cluster).
+//   --host-threads N  drive the sweep on N host threads: independent
+//                 sweep cells (each a full api::runOnce) run on an
+//                 N-thread pool, and each run's own event loop uses the
+//                 host-parallel engine (RunConfig::hostThreads = N).
+//                 Purely host-side: every number printed is
+//                 bit-identical for any N (docs/parallel-engine.md);
+//                 only the wall-ms column and the sweep wall line
+//                 change. Output is buffered per row and printed in
+//                 canonical workload order.
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "api/runner.hpp"
 
@@ -69,6 +85,57 @@ datmUnsupported(const std::string &name, double scale,
     return false;
 }
 
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/** One (workload, config) run slot, filled by whichever thread. */
+struct Cell {
+    bool supported = true;
+    api::RunResult r;
+    double wallMs = 0.0;
+};
+
+/** One output row: the sequential baseline plus every config cell. */
+struct Row {
+    std::string name;
+    Cycle seq = 0;
+    double seqWallMs = 0.0;
+    std::vector<Cell> cells;
+};
+
+/**
+ * Run @p tasks to completion on @p threads host threads (<= 1 runs
+ * them inline, in order, with zero threading machinery). Tasks are
+ * independent full simulations; each writes only its own result slot.
+ */
+void
+runTasks(std::vector<std::function<void()>> &tasks, unsigned threads)
+{
+    if (threads <= 1) {
+        for (auto &t : tasks)
+            t();
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&tasks, &next] {
+        for (std::size_t i; (i = next.fetch_add(1)) < tasks.size();)
+            tasks[i]();
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads && t < tasks.size(); ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+}
+
 } // namespace
 
 int
@@ -79,6 +146,7 @@ main(int argc, char **argv)
     unsigned shards = 1;
     unsigned banks = 1;
     unsigned clusters = 1;
+    unsigned host_threads = 0;
     double xc_fraction = -1.0; // < 0: default per cluster count.
     htm::BackoffPolicy backoff = htm::BackoffPolicy::None;
     double scale = 0.25;
@@ -116,6 +184,13 @@ main(int argc, char **argv)
                 return 1;
             }
             xc_fraction = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--host-threads") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--host-threads requires a count\n");
+                return 1;
+            }
+            host_threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--backoff") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--backoff requires a policy "
@@ -170,63 +245,117 @@ main(int argc, char **argv)
     if (backoff != htm::BackoffPolicy::None)
         std::printf("retry backoff: %s\n",
                     htm::backoffPolicyName(backoff));
-    std::printf("%-18s %10s | %8s %8s %8s %8s | %10s | ok\n",
-                "workload", "seq-cyc", "eager", "lazy-vb", "retcon",
-                "datm", "backoff");
-    bool all_ok = true;
-    unsigned ran = 0;
-    std::uint64_t chains_validated = 0;
-    std::uint64_t chains_skipped = 0;
-    std::uint64_t forward_links = 0;
-    std::uint64_t xc_token_waits = 0;
-    std::uint64_t net_messages = 0;
-    std::uint64_t net_queue_cycles = 0;
+    if (host_threads > 1)
+        std::printf("host-parallel: %u threads (cell pool + per-run "
+                    "engine)\n",
+                    host_threads);
+
+    // Lay the whole sweep out as independent tasks (one per sequential
+    // baseline, one per config cell), run them on the host-thread
+    // pool, then print rows in canonical order from the filled slots.
+    auto configs = api::paperConfigs();
+    htm::TMConfig datm = api::eagerConfig();
+    datm.mode = htm::TMMode::DATM;
+    configs.push_back({"datm", datm});
+
+    std::vector<Row> rows;
+    std::vector<std::function<void()>> tasks;
     for (const auto &name : workloads::extendedWorkloadNames()) {
         if (only && name != only)
             continue;
-        ++ran;
-        api::RunConfig cfg;
-        cfg.workload = name;
-        cfg.nthreads = nthreads;
-        cfg.scale = scale;
-        cfg.shards = shards;
-        cfg.memBanks = banks;
-        cfg.clusters = clusters;
-        cfg.crossClusterFraction = xc_fraction;
-        cfg.trace.enabled = audit;
-        cfg.trace.ringCapacity = 0; // Audit only; no event retention.
-        Cycle seq = api::sequentialCycles(cfg);
-        std::printf("%-18s %10llu |", name.c_str(),
-                    (unsigned long long)seq);
-        bool ok = true;
-        std::uint64_t backoff_cycles = 0;
-        auto configs = api::paperConfigs();
-        htm::TMConfig datm = api::eagerConfig();
-        datm.mode = htm::TMMode::DATM;
-        configs.push_back({"datm", datm});
-        for (auto &[label, tm] : configs) {
-            if (tm.mode == htm::TMMode::DATM &&
-                datmUnsupported(name, scale, clusters)) {
-                std::printf(" %8s", "-");
+        rows.push_back(Row{name, 0, 0.0,
+                           std::vector<Cell>(configs.size())});
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr, "no workload matched '%s'\n",
+                     only ? only : "");
+        return 1;
+    }
+    for (Row &row : rows) {
+        api::RunConfig base;
+        base.workload = row.name;
+        base.nthreads = nthreads;
+        base.scale = scale;
+        base.shards = shards;
+        base.memBanks = banks;
+        base.clusters = clusters;
+        base.crossClusterFraction = xc_fraction;
+        base.hostThreads = host_threads;
+        base.trace.enabled = audit;
+        base.trace.ringCapacity = 0; // Audit only; no event retention.
+        tasks.push_back([&row, base] {
+            auto t0 = std::chrono::steady_clock::now();
+            row.seq = api::sequentialCycles(base);
+            row.seqWallMs = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        });
+        for (std::size_t k = 0; k < configs.size(); ++k) {
+            Cell &cell = row.cells[k];
+            if (configs[k].tm.mode == htm::TMMode::DATM &&
+                datmUnsupported(row.name, scale, clusters)) {
+                cell.supported = false;
                 continue;
             }
-            cfg.tm = tm;
+            api::RunConfig cfg = base;
+            cfg.tm = configs[k].tm;
             cfg.tm.backoff.policy = backoff;
             // The two-level commit protocol is the fleet's whole
             // point: remote bank tokens must cross the wire, so
             // arbitration is always modeled on a fleet.
             if (clusters > 1)
                 cfg.tm.commitTokenArbitration = true;
-            api::RunResult r = api::runOnce(cfg);
-            double speedup = double(seq) / double(r.cycles);
-            std::printf(" %8.2f", speedup);
+            tasks.push_back([&cell, cfg] {
+                auto t0 = std::chrono::steady_clock::now();
+                cell.r = api::runOnce(cfg);
+                cell.wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            });
+        }
+    }
+
+    auto sweep0 = std::chrono::steady_clock::now();
+    runTasks(tasks, host_threads);
+    double sweep_wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - sweep0)
+                               .count();
+
+    std::printf("%-18s %10s | %8s %8s %8s %8s | %10s | %8s | ok\n",
+                "workload", "seq-cyc", "eager", "lazy-vb", "retcon",
+                "datm", "backoff", "wall-ms");
+    bool all_ok = true;
+    std::uint64_t chains_validated = 0;
+    std::uint64_t chains_skipped = 0;
+    std::uint64_t forward_links = 0;
+    std::uint64_t xc_token_waits = 0;
+    std::uint64_t net_messages = 0;
+    std::uint64_t net_queue_cycles = 0;
+    for (const Row &row : rows) {
+        std::string line;
+        appendf(line, "%-18s %10llu |", row.name.c_str(),
+                (unsigned long long)row.seq);
+        bool ok = true;
+        std::uint64_t backoff_cycles = 0;
+        double row_wall_ms = row.seqWallMs;
+        for (const Cell &cell : row.cells) {
+            if (!cell.supported) {
+                appendf(line, " %8s", "-");
+                continue;
+            }
+            const api::RunResult &r = cell.r;
+            double speedup = double(row.seq) / double(r.cycles);
+            appendf(line, " %8.2f", speedup);
             if (!r.validation.ok) {
                 ok = false;
-                std::printf("(INVALID: %s)", r.validation.note.c_str());
+                appendf(line, "(INVALID: %s)",
+                        r.validation.note.c_str());
             }
             if (audit && !r.reenact.ok()) {
                 ok = false;
-                std::printf("(AUDIT: %s)", r.reenact.summary().c_str());
+                appendf(line, "(AUDIT: %s)",
+                        r.reenact.summary().c_str());
             }
             if (audit) {
                 chains_validated += r.reenact.forwardedCommitsChecked;
@@ -237,21 +366,18 @@ main(int argc, char **argv)
             xc_token_waits += r.machineStats.xcTokenWaits;
             net_messages += r.net.messages;
             net_queue_cycles += r.net.queueCycles;
-            std::fflush(stdout);
+            row_wall_ms += cell.wallMs;
         }
         if (backoff == htm::BackoffPolicy::None && backoff_cycles != 0) {
             // The off switch must really be off (bit-identical runs).
-            std::printf(" (BACKOFF LEAK)");
+            appendf(line, " (BACKOFF LEAK)");
             ok = false;
         }
-        std::printf(" | %10llu | %s\n",
-                    (unsigned long long)backoff_cycles, ok ? "yes" : "NO");
+        appendf(line, " | %10llu | %8.1f | %s\n",
+                (unsigned long long)backoff_cycles, row_wall_ms,
+                ok ? "yes" : "NO");
+        std::fputs(line.c_str(), stdout);
         all_ok = all_ok && ok;
-    }
-    if (ran == 0) {
-        std::fprintf(stderr, "no workload matched '%s'\n",
-                     only ? only : "");
-        return 1;
     }
     if (clusters > 1) {
         std::printf("fleet: %llu cross-cluster token waits, %llu net "
@@ -289,5 +415,8 @@ main(int argc, char **argv)
             all_ok = false;
         }
     }
+    std::printf("sweep wall: %.0f ms on %u host thread%s\n",
+                sweep_wall_ms, host_threads ? host_threads : 1,
+                host_threads > 1 ? "s" : "");
     return all_ok ? 0 : 1;
 }

@@ -19,10 +19,12 @@ Two very different tolerance regimes apply:
     how). Unacknowledged improvements fail too: a stale baseline
     would let a later regression back down to it pass unnoticed.
 
-  * Host-time metrics (micro_structures items_per_second) vary with
-    the runner, so only large regressions fail (--host-tolerance,
-    default 60% slower — the linear scans this guards against regress
-    lookups by 10-50x, not 10%). Improvements never fail.
+  * Host-time metrics (micro_structures items_per_second, and the
+    service bench's host_wall_ms — per point and along the
+    host-threads axis) vary with the runner, so only large
+    regressions fail (--host-tolerance, default 60% slower — the
+    linear scans this guards against regress lookups by 10-50x, not
+    10%). Improvements never fail.
 
 Exit status: 0 when everything is within tolerance, 1 on any
 regression or missing/malformed file. --report writes the comparison
@@ -68,7 +70,21 @@ def load(path, rep):
     return None
 
 
-def check_service(base, fresh, tol, rep):
+def check_host_ms(label, bp, fp, tol, rep):
+    """Gate one host_wall_ms pair: one-sided, lower is better."""
+    b, f = bp.get("host_wall_ms"), fp.get("host_wall_ms")
+    if not b or f is None:
+        return
+    delta = (f - b) / b
+    verdict = "ok" if f <= b * (1 + tol) else "REGRESSED"
+    rep.line(f"  {label}: {b:.1f} -> {f:.1f} ms host wall "
+             f"({delta:+.1%}) {verdict}")
+    if verdict != "ok":
+        rep.fail(f"host wall time at {label} regressed {delta:+.1%} "
+                 f"(tolerance +{tol:.0%})")
+
+
+def check_service(base, fresh, tol, host_tol, rep):
     rep.line(f"== service_scalability (simulated, tolerance {tol:.0%})")
     if base.get("scale") != fresh.get("scale") or \
             base.get("nthreads") != fresh.get("nthreads"):
@@ -138,6 +154,33 @@ def check_service(base, fresh, tol, rep):
             rep.fail(f"scale-out gain changed {delta:+.1%} "
                      f"(tolerance +/-{tol:.0%})")
 
+    # Host wall time (one-sided, wide band): per scale-up point, and
+    # along the host-threads axis of the host-parallel engine
+    # (docs/parallel-engine.md). The axis points' simulated fields are
+    # self-checked by the bench itself (bit-identity to sequential),
+    # so only their wall clock is compared here.
+    rep.line(f"== service_scalability (host time, tolerance "
+             f"{host_tol:.0%})")
+    for key, bp in sorted(base_pts.items()):
+        fp = fresh_pts.get(key)
+        if fp is not None:
+            check_host_ms(f"{key[0]} shards x {key[1]} banks", bp, fp,
+                          host_tol, rep)
+    base_host = {p.get("host_threads"): p
+                 for p in base.get("host_points", [])}
+    fresh_host = {p.get("host_threads"): p
+                  for p in fresh.get("host_points", [])}
+    for ht, bp in sorted(base_host.items()):
+        fp = fresh_host.get(ht)
+        if fp is None:
+            rep.fail(f"host point at {ht} host threads missing from "
+                     f"fresh run")
+            continue
+        check_host_ms(f"{ht} host threads", bp, fp, host_tol, rep)
+    for ht in sorted(set(fresh_host) - set(base_host)):
+        rep.line(f"  note: new host point at {ht} threads has no "
+                 f"baseline")
+
 
 def check_micro(base, fresh, tol, rep):
     rep.line(f"== micro_structures (host time, tolerance {tol:.0%})")
@@ -195,7 +238,8 @@ def main():
     svc_base = load(base_dir / SERVICE, rep)
     svc_fresh = load(fresh_dir / SERVICE, rep)
     if svc_base and svc_fresh:
-        check_service(svc_base, svc_fresh, args.sim_tolerance, rep)
+        check_service(svc_base, svc_fresh, args.sim_tolerance,
+                      args.host_tolerance, rep)
 
     if args.skip_micro:
         rep.line("== micro_structures skipped (--skip-micro)")
