@@ -62,6 +62,7 @@ runOnce(const RunConfig &cfg)
     params.servicePartitions = cfg.servicePartitions;
     params.clusters = cfg.clusters;
     params.crossClusterFraction = cfg.crossClusterFraction;
+    params.annotatePhases = cfg.annotatePhases;
     auto workload = workloads::makeWorkload(cfg.workload, params);
 
     // nthreads/shards/memBanks size ONE cluster; the Fleet multiplies
@@ -206,7 +207,8 @@ runOnce(const RunConfig &cfg)
     if (mux) {
         result.traceEvents = mux->totalEvents();
         if (cfg.trace.ringCapacity > 0 &&
-            (!cfg.trace.exportJsonPath.empty() ||
+            (cfg.trace.captureInto ||
+             !cfg.trace.exportJsonPath.empty() ||
              !cfg.trace.exportCsvPath.empty())) {
             std::vector<trace::Record> merged = mux->mergedSnapshot();
             if (cfg.trace.exportSeqMin != 0 ||
@@ -218,6 +220,10 @@ runOnce(const RunConfig &cfg)
                 trace::exportJsonFile(merged, cfg.trace.exportJsonPath);
             if (!cfg.trace.exportCsvPath.empty())
                 trace::exportCsvFile(merged, cfg.trace.exportCsvPath);
+            if (cfg.trace.captureInto)
+                cfg.trace.captureInto->insert(
+                    cfg.trace.captureInto->end(), merged.begin(),
+                    merged.end());
         }
     }
     return result;

@@ -54,6 +54,16 @@ struct TraceOptions {
      */
     std::uint64_t exportSeqMin = 0;
     std::uint64_t exportSeqMax = 0;
+
+    /**
+     * Programmatic capture: when set, the merged (seq-windowed) record
+     * snapshot is appended here after the run — the same stream the
+     * file exporters would write. This is how the what-if engine
+     * (api/whatif.hpp) and retcon-query's `smoke` subcommand get at a
+     * run's records without a filesystem round-trip. Must outlive the
+     * runOnce call; requires ringCapacity > 0 to retain anything.
+     */
+    std::vector<trace::Record> *captureInto = nullptr;
 };
 
 /** One experiment run description. */
@@ -65,6 +75,15 @@ struct RunConfig {
     double scale = 1.0;
     Cycle maxCycles = 2'000'000'000ull;
     TraceOptions trace{};
+
+    /**
+     * Ask the workload to emit `user-mark` annotation records at its
+     * phase boundaries (WorkerCtx::annotate). Currently honoured by
+     * the `service` workload, which marks each worker's request-range
+     * quarters; other workloads ignore it. No simulated-timing effect
+     * — marks are audit-stream-only (docs/trace-query.md).
+     */
+    bool annotatePhases = false;
 
     /**
      * Event-queue shards (1..nthreads; cores map round-robin). With

@@ -307,7 +307,11 @@ TMMachine::doAbort(CoreId core, AbortCause cause, bool notify_exec,
     ++_stats.aborts;
     ++_stats.abortsByCause[static_cast<int>(cause)];
     emitTrace(core, "abort", 0, static_cast<Word>(cause));
-    audit(core, trace::EventKind::Abort, 0, 0, 0, std::nullopt,
+    // The abort record carries the blamed block (0 when the abort has
+    // no conflicting block, e.g. constraint violations): the same key
+    // the contention scheduler heats, now queryable offline as a
+    // blame chain (src/query/, docs/trace-query.md).
+    audit(core, trace::EventKind::Abort, blame, 0, 0, std::nullopt,
           rtc::CmpOp::EQ, static_cast<std::uint8_t>(cause));
     if (notify_exec && _onRemoteAbort)
         _onRemoteAbort(core, cause);
@@ -453,7 +457,7 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
         AbortCause c = (m == core) ? cause : AbortCause::DatmCascade;
         ++_stats.abortsByCause[static_cast<int>(c)];
         emitTrace(m, "abort", 0, static_cast<Word>(c));
-        audit(m, trace::EventKind::Abort, 0, 0, 0, std::nullopt,
+        audit(m, trace::EventKind::Abort, bl, 0, 0, std::nullopt,
               rtc::CmpOp::EQ, static_cast<std::uint8_t>(c));
         bool notify = (m != core) || notify_exec;
         if (notify && _onRemoteAbort)

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Offline trace loader: parse a recorded provenance stream back into
+ * trace::Record form, from either export format (docs/trace-format.md):
+ *
+ *  - **JSON Lines** (`exportJson*`): one object per line. The
+ *    per-kind decodes re-encode losslessly — `cause` names map back
+ *    to the aux byte, `datm_forwarded` back to the commit flag bit,
+ *    `annotation` is the mark's `a` value it was decoded from.
+ *  - **CSV** (`exportCsv*`): one row per record; the `aux` column is
+ *    raw, so the round trip is field-exact by construction.
+ *
+ * Loading is strict: any unparsable line, unknown kind/operator/cause
+ * name, or seq-order violation (exports of a merged snapshot are
+ * ascending in the machine-global `seq` key) fails the load with a
+ * line-numbered diagnostic instead of silently yielding a partial
+ * stream — a truncated or hand-edited trace must not masquerade as a
+ * recorded run (tests/unit/test_query.cpp pins the negative control).
+ */
+
+#ifndef RETCON_QUERY_LOADER_HPP
+#define RETCON_QUERY_LOADER_HPP
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace retcon::query {
+
+/** Outcome of a load: the records, or a line-numbered diagnostic. */
+struct LoadResult {
+    bool ok = true;
+    std::string error;
+    std::vector<trace::Record> records;
+};
+
+/** Parse JSON Lines export output. */
+LoadResult loadJson(std::istream &is);
+
+/** Parse CSV export output (header row required). */
+LoadResult loadCsv(std::istream &is);
+
+/**
+ * Load a trace file, dispatching on content: a first line starting
+ * with '{' is JSON Lines, a `cycle,core,...` header is CSV. Fails
+ * (ok = false) on unreadable files or unrecognizable content.
+ */
+LoadResult loadTraceFile(const std::string &path);
+
+} // namespace retcon::query
+
+#endif // RETCON_QUERY_LOADER_HPP

@@ -1,0 +1,161 @@
+#include "query/replay.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace retcon::query {
+
+namespace {
+
+/** One eager store awaiting commit or rollback. */
+struct UndoEnt {
+    Addr word = 0;
+    std::optional<Word> old; ///< nullopt: word was unknown before.
+    std::uint64_t order = 0; ///< Global apply order (newest-first key).
+};
+
+struct OfflineMemory {
+    std::unordered_map<Addr, Word> words;
+    std::unordered_map<CoreId, std::vector<UndoEnt>> undo;
+    std::uint64_t applyOrder = 0;
+    std::uint64_t seeded = 0;
+    std::uint64_t unknownReads = 0;
+
+    Word
+    read(Addr a)
+    {
+        auto it = words.find(wordAddr(a));
+        if (it == words.end()) {
+            ++unknownReads;
+            return 0;
+        }
+        return it->second;
+    }
+
+    void
+    seed(Addr word, Word value)
+    {
+        if (words.emplace(wordAddr(word), value).second)
+            ++seeded;
+    }
+
+    void
+    store(CoreId core, Addr byte_addr, Word word_value)
+    {
+        Addr w = wordAddr(byte_addr);
+        auto it = words.find(w);
+        UndoEnt e;
+        e.word = w;
+        e.old = it == words.end() ? std::nullopt
+                                  : std::optional<Word>(it->second);
+        e.order = ++applyOrder;
+        undo[core].push_back(e);
+        words[w] = word_value;
+    }
+
+    /**
+     * Roll back @p cores' eager stores as one merged, newest-first
+     * unwind — the machine merges a DATM cascade's undo entries and
+     * restores them in reverse global order, so interleaved writes to
+     * one word land back on the pre-cascade value.
+     */
+    void
+    rollback(const std::vector<CoreId> &cores)
+    {
+        std::vector<UndoEnt> all;
+        for (CoreId c : cores) {
+            auto it = undo.find(c);
+            if (it == undo.end())
+                continue;
+            all.insert(all.end(), it->second.begin(), it->second.end());
+            it->second.clear();
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const UndoEnt &a, const UndoEnt &b) {
+                      return a.order > b.order;
+                  });
+        for (const UndoEnt &e : all) {
+            if (e.old)
+                words[e.word] = *e.old;
+            else
+                words.erase(e.word);
+        }
+    }
+
+    void
+    commit(CoreId core)
+    {
+        auto it = undo.find(core);
+        if (it != undo.end())
+            it->second.clear();
+    }
+};
+
+} // namespace
+
+ReplayResult
+replayValidate(const std::vector<trace::Record> &recs)
+{
+    OfflineMemory mem;
+    trace::ReenactmentValidator validator(
+        [&mem](Addr a) { return mem.read(a); });
+
+    // Consecutive abort records form one machine step (a DATM abort
+    // cascade); their rollbacks merge. Flush before any other kind.
+    std::vector<CoreId> pendingAborts;
+    auto flushAborts = [&] {
+        if (!pendingAborts.empty()) {
+            mem.rollback(pendingAborts);
+            pendingAborts.clear();
+        }
+    };
+
+    for (const trace::Record &r : recs) {
+        if (r.kind != trace::EventKind::Abort)
+            flushAborts();
+
+        // The validator observes the record against memory as it was
+        // *before* the record's own effect (its commit-drain snapshot
+        // must predate that commit's repairs).
+        validator.onEvent(r);
+
+        switch (r.kind) {
+          case trace::EventKind::Load:
+          case trace::EventKind::SymLoad:
+          case trace::EventKind::Forward:
+            mem.seed(r.addr, r.a);
+            break;
+          case trace::EventKind::Freeze:
+          case trace::EventKind::Pin:
+            mem.seed(r.addr, r.a);
+            break;
+          case trace::EventKind::Store:
+            mem.store(r.core, r.addr, r.b);
+            break;
+          case trace::EventKind::Repair:
+            // Drain writes are undo-logged by the machine too: an
+            // abort after a partial drain restores them, so a repair
+            // is only permanent once its commit record arrives.
+            mem.store(r.core, r.addr, r.b);
+            break;
+          case trace::EventKind::Commit:
+            mem.commit(r.core);
+            break;
+          case trace::EventKind::Abort:
+            pendingAborts.push_back(r.core);
+            break;
+          default:
+            break;
+        }
+    }
+    flushAborts();
+
+    ReplayResult out;
+    out.report = validator.report();
+    out.seededWords = mem.seeded;
+    out.unknownReads = mem.unknownReads;
+    return out;
+}
+
+} // namespace retcon::query

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Offline reenactment: run the ReenactmentValidator over a recorded
+ * (or reconstructed) stream with no live cluster attached.
+ *
+ * The live validator reads architectural memory at commit-drain time;
+ * offline there is no memory to read, so this module *reconstructs*
+ * it from the stream itself:
+ *
+ *  - words are **seeded on first observation** — a `load`/`sym-load`
+ *    carries the value read, `freeze`/`pin` the validated input
+ *    value, `forward` the delivered word;
+ *  - `store` records apply eagerly (the machine's eager modes write
+ *    memory in place) with a per-attempt undo log, rolled back when
+ *    the attempt aborts — consecutive `abort` records (a DATM
+ *    cascade) roll back as one merged, newest-first unwind, exactly
+ *    as the machine does;
+ *  - `repair` records apply the commit-time drain — undo-logged like
+ *    eager stores, because the machine logs drain writes too and an
+ *    abort after a partial drain restores them.
+ *
+ * Replaying in seq order therefore presents the validator the same
+ * memory values the live run did, and a complete stream (no ring
+ * wraparound) must validate offline exactly as it did live — the
+ * property that makes what-if's reconstructed prefix+suffix streams
+ * checkable (src/api/whatif, docs/what-if.md).
+ */
+
+#ifndef RETCON_QUERY_REPLAY_HPP
+#define RETCON_QUERY_REPLAY_HPP
+
+#include <vector>
+
+#include "trace/reenact.hpp"
+
+namespace retcon::query {
+
+/** Outcome of one offline replay. */
+struct ReplayResult {
+    trace::ReenactReport report;
+    /** Words first observed (seeded) during the replay. */
+    std::uint64_t seededWords = 0;
+    /**
+     * Reads of words the stream never revealed (returned as 0).
+     * Nonzero means the stream was windowed/wrapped — mismatches may
+     * be artifacts of the missing prefix rather than real divergence.
+     */
+    std::uint64_t unknownReads = 0;
+};
+
+/** Replay @p recs (ascending seq) through a fresh validator. */
+ReplayResult replayValidate(const std::vector<trace::Record> &recs);
+
+} // namespace retcon::query
+
+#endif // RETCON_QUERY_REPLAY_HPP

@@ -60,12 +60,21 @@ enum class EventKind : std::uint8_t {
                  ///< a = memory value before, b = value written, sym =
                  ///< the symbolic value that produced b (hasSym).
     Commit,      ///< Transaction committed.
-    Abort,       ///< Transaction aborted; aux = htm::AbortCause.
+    Abort,       ///< Transaction aborted; aux = htm::AbortCause,
+                 ///< addr = blamed block (0 when no block is to
+                 ///< blame, e.g. constraint violations).
     UserMark,    ///< Workload annotation via WorkerCtx; a = mark id.
 };
 
 /** Short stable name (used by the exporters and reports). */
 const char *eventKindName(EventKind k);
+
+/**
+ * Parse a kind back from its stable name ("begin", "sym-load", ...).
+ * @return false (leaving @p out untouched) on unknown names — the
+ * trace loader's corrupted-input detection path (src/query/loader).
+ */
+bool eventKindFromName(const char *name, EventKind &out);
 
 /**
  * Commit-record aux bit: the committing transaction consumed a value
@@ -99,6 +108,24 @@ struct Record {
     /// chains re-derive without ambiguity; 0 for other kinds.
     std::uint64_t vid = 0;
 };
+
+/**
+ * Field-by-field equality (Records are PODs with padding, so memcmp
+ * is not reliable). The bit-identity currency of the what-if engine
+ * and the determinism tests.
+ */
+inline bool
+recordsIdentical(const Record &x, const Record &y)
+{
+    return x.cycle == y.cycle && x.core == y.core && x.kind == y.kind &&
+           x.addr == y.addr && x.a == y.a && x.b == y.b &&
+           x.hasSym == y.hasSym &&
+           (!x.hasSym || (x.sym.root == y.sym.root &&
+                          x.sym.delta == y.sym.delta &&
+                          x.sym.size == y.sym.size)) &&
+           x.cmp == y.cmp && x.aux == y.aux && x.seq == y.seq &&
+           x.vid == y.vid;
+}
 
 } // namespace retcon::trace
 

@@ -1,12 +1,11 @@
 #include "trace/export.hpp"
 
 #include <fstream>
+#include <string_view>
 
 #include "sim/logging.hpp"
 
 namespace retcon::trace {
-
-namespace {
 
 const char *
 cmpOpName(rtc::CmpOp op)
@@ -22,7 +21,18 @@ cmpOpName(rtc::CmpOp op)
     return "?";
 }
 
-} // namespace
+bool
+cmpOpFromName(const char *name, rtc::CmpOp &out)
+{
+    for (int op = 0; op <= static_cast<int>(rtc::CmpOp::GT); ++op) {
+        auto cmp = static_cast<rtc::CmpOp>(op);
+        if (std::string_view(cmpOpName(cmp)) == name) {
+            out = cmp;
+            return true;
+        }
+    }
+    return false;
+}
 
 std::vector<Record>
 seqWindow(const std::vector<Record> &recs, std::uint64_t seq_min,
@@ -56,10 +66,13 @@ writeJsonRecord(const Record &r, std::ostream &os)
         os << ",\"producer_uid\":" << r.b;
     if (r.kind == EventKind::Constraint)
         os << ",\"cmp\":\"" << cmpOpName(r.cmp) << "\"";
-    if (r.kind == EventKind::Abort)
+    if (r.kind == EventKind::Abort) {
         os << ",\"cause\":\""
            << htm::abortCauseName(static_cast<htm::AbortCause>(r.aux))
            << "\"";
+        if (r.addr != 0)
+            os << ",\"blame\":" << r.addr;
+    }
     if (r.kind == EventKind::Commit)
         os << ",\"datm_forwarded\":"
            << ((r.aux & kCommitAuxDatmForwarded) ? "true" : "false");
@@ -83,14 +96,18 @@ writeCsvRecord(const Record &r, std::ostream &os)
                    (r.aux & kCommitAuxDatmForwarded)
                ? 1
                : 0)
-       << ',' << r.vid;
+       << ',' << r.vid << ',';
+    // CSV parity with the JSON `annotation` decode: the mark id of a
+    // `mark` record, empty for every other kind.
+    if (r.kind == EventKind::UserMark)
+        os << r.a;
 }
 
 const char *
 csvHeader()
 {
     return "cycle,core,kind,addr,a,b,sym_root,sym_delta,cmp,aux,seq,"
-           "datm_forwarded,vid";
+           "datm_forwarded,vid,annotation";
 }
 
 std::size_t

@@ -25,6 +25,16 @@
 
 namespace retcon::trace {
 
+/** Stable operator spelling ("<", "<=", "==", ...). */
+const char *cmpOpName(rtc::CmpOp op);
+
+/**
+ * Parse an operator back from its spelling. @return false (leaving
+ * @p out untouched) on unknown spellings — the trace loader's
+ * corrupted-input detection path (src/query/loader).
+ */
+bool cmpOpFromName(const char *name, rtc::CmpOp &out);
+
 /** Serialize one record as a single JSON object (no newline). */
 void writeJsonRecord(const Record &r, std::ostream &os);
 

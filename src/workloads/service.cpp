@@ -392,8 +392,20 @@ class ServiceWorkload : public Workload
         Word hi = _requests * (tid + 1) / nt;
         Zipfian zipf(_keys);
         Word nextSession = 0;
+        Word phase = 0; ///< Last quarter annotated (0 = none yet).
 
         for (Word t = lo; t < hi; ++t) {
+            // Phase marks: split this worker's request range into
+            // quarters (ids 1..4). Annotation-only — consumes no
+            // randomness and no simulated time, so runs with the flag
+            // off are bit-identical to runs that never had it.
+            if (_p.annotatePhases) {
+                Word q = 1 + (t - lo) * 4 / (hi - lo);
+                if (q != phase) {
+                    ctx.annotate(q);
+                    phase = q;
+                }
+            }
             Word key = zipf.next(ctx.rng());
             Word op = ctx.rng().below(100);
             if (op < 55) {

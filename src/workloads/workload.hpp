@@ -62,6 +62,16 @@ struct WorkloadParams {
      */
     double crossClusterFraction = 0.0;
 
+    /**
+     * Emit `user-mark` annotation records at workload phase
+     * boundaries (api::RunConfig::annotatePhases). The `service`
+     * workload marks each worker's request-range quarters with phase
+     * ids 1..4; the Table 2 set ignores the flag. Marks are
+     * audit-stream-only — no simulated-timing effect — and anchor
+     * retcon-query's annotation spans (docs/trace-query.md).
+     */
+    bool annotatePhases = false;
+
     /** Scaled size helper: max(min_value, round(base * scale)). */
     Word
     scaled(Word base, Word min_value = 1) const

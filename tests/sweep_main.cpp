@@ -3,7 +3,15 @@
 //
 // Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
 //                   [--backoff P] [--clusters N] [--xc-fraction F]
-//                   [--host-threads N] [scale] [nthreads] [workload]
+//                   [--host-threads N] [--annotate-phases]
+//                   [scale] [nthreads] [workload]
+//   --annotate-phases
+//                 emit per-phase user-mark annotations in the service
+//                 workload (each worker marks its request-range
+//                 quarters 1..4). Audit-stream-only: rows, validation,
+//                 and timing are unchanged; the marks anchor
+//                 retcon-query's annotation-span queries
+//                 (docs/trace-query.md).
 //   --quick       reduced-iteration mode for CI (small scale, 4 threads)
 //   --audit       attach the trace/reenact oracle to every run and fail
 //                 on any commit the validator cannot re-derive — for
@@ -143,6 +151,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool audit = false;
+    bool annotate_phases = false;
     unsigned shards = 1;
     unsigned banks = 1;
     unsigned clusters = 1;
@@ -159,6 +168,11 @@ main(int argc, char **argv)
             quick = true;
         } else if (std::strcmp(argv[i], "--audit") == 0) {
             audit = true;
+        } else if (std::strcmp(argv[i], "--annotate-phases") == 0) {
+            // Per-phase user-mark annotations in the service workload
+            // (request-range quarters); audit-stream-only, so rows are
+            // unchanged. Anchors retcon-query's span queries.
+            annotate_phases = true;
         } else if (std::strcmp(argv[i], "--shards") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--shards requires a count\n");
@@ -283,6 +297,7 @@ main(int argc, char **argv)
         base.hostThreads = host_threads;
         base.trace.enabled = audit;
         base.trace.ringCapacity = 0; // Audit only; no event retention.
+        base.annotatePhases = annotate_phases;
         tasks.push_back([&row, base] {
             auto t0 = std::chrono::steady_clock::now();
             row.seq = api::sequentialCycles(base);

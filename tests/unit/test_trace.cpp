@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "exec/cluster.hpp"
+#include "query/loader.hpp"
 #include "trace/export.hpp"
 #include "trace/recorder.hpp"
 #include "trace/reenact.hpp"
@@ -317,6 +318,57 @@ TEST(TraceExport, AnnotationMarksRoundTripThroughJson)
     // Non-mark records must not carry the field.
     EXPECT_EQ(json.str().find("\"kind\":\"commit\",\"annotation\""),
               std::string::npos);
+}
+
+TEST(TraceExport, CsvCarriesAnnotationAndBothFormatsRoundTrip)
+{
+    // CSV must match JSON on the annotation surface: a mark row
+    // carries its id in the trailing `annotation` column, every other
+    // row leaves it empty. And both exports must parse back
+    // (query::loadJson / loadCsv) into the exact records they came
+    // from — the loader is the query CLI's input path, so a lossy
+    // round trip would silently corrupt every downstream query.
+    ClusterConfig cfg;
+    cfg.numThreads = 2;
+    trace::TraceRecorder ring(1 << 10);
+    Cluster cluster(cfg);
+    cluster.setTraceSink(&ring);
+    cluster.start([](WorkerCtx &ctx) -> Task<void> {
+        ctx.annotate(0xFACE);
+        co_await ctx.txn([](Tx &tx) { return incrementBody(tx); });
+        co_await ctx.barrier();
+    });
+    cluster.run();
+
+    EXPECT_NE(std::string(trace::csvHeader()).find("annotation"),
+              std::string::npos);
+    std::ostringstream csv;
+    trace::exportCsv(ring, csv);
+    EXPECT_NE(csv.str().find("," + std::to_string(0xFACE) + "\n"),
+              std::string::npos);
+
+    std::vector<trace::Record> original;
+    ring.forEach([&](const trace::Record &r) { original.push_back(r); });
+
+    std::istringstream csvIn(csv.str());
+    query::LoadResult fromCsv = query::loadCsv(csvIn);
+    ASSERT_TRUE(fromCsv.ok) << fromCsv.error;
+    ASSERT_EQ(fromCsv.records.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_TRUE(
+            trace::recordsIdentical(fromCsv.records[i], original[i]))
+            << "CSV row " << i;
+
+    std::ostringstream json;
+    trace::exportJson(ring, json);
+    std::istringstream jsonIn(json.str());
+    query::LoadResult fromJson = query::loadJson(jsonIn);
+    ASSERT_TRUE(fromJson.ok) << fromJson.error;
+    ASSERT_EQ(fromJson.records.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_TRUE(
+            trace::recordsIdentical(fromJson.records[i], original[i]))
+            << "JSON line " << i;
 }
 
 // ---------------------------------------------------------------------
