@@ -108,6 +108,23 @@ struct HostPoint {
     double wallMs = 0;
 };
 
+/// Trace-writer overhead: the top scale-up point re-run with the
+/// live record stream additionally written to an .rtt file
+/// (docs/streaming.md). Streaming is a host-side sink on the audit
+/// stream the run already produces, so the simulated result must be
+/// bit-identical — cycles are asserted equal, and only the writer's
+/// own stats and host wall move (gated under the host tolerance,
+/// never the simulated band).
+struct TraceStreamPoint {
+    bool measured = false;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t flushes = 0;
+    double flushWallMs = 0;
+    double wallMs = 0;     ///< Host wall of the streamed run.
+    double baseWallMs = 0; ///< Host wall of the untraced point.
+};
+
 /// One scale-OUT point: the same fleet-wide core count split across a
 /// 2-cluster fleet, swept over the cross-cluster request fraction.
 struct FleetPoint {
@@ -124,7 +141,8 @@ void
 writeJson(const char *path, double scale, unsigned nthreads,
           const std::vector<Point> &points,
           const std::vector<FleetPoint> &fleet,
-          const std::vector<HostPoint> &host, double gain)
+          const std::vector<HostPoint> &host,
+          const TraceStreamPoint &ts, double gain)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -179,7 +197,22 @@ writeJson(const char *path, double scale, unsigned nthreads,
                      (unsigned long long)p.cycles,
                      (unsigned long long)p.commits, p.wallMs);
     }
-    std::fprintf(f, "],\"throughput_gain\":%.4f}\n", gain);
+    std::fprintf(f, "]");
+    if (ts.measured) {
+        std::fprintf(f,
+                     ",\"trace_stream\":{\"records\":%llu,"
+                     "\"bytes_written\":%llu,"
+                     "\"bytes_per_record\":%.2f,\"flushes\":%llu,"
+                     "\"flush_wall_ms\":%.2f,\"host_wall_ms\":%.2f,"
+                     "\"untraced_host_wall_ms\":%.2f}",
+                     (unsigned long long)ts.records,
+                     (unsigned long long)ts.bytes,
+                     ts.records ? double(ts.bytes) / double(ts.records)
+                                : 0.0,
+                     (unsigned long long)ts.flushes, ts.flushWallMs,
+                     ts.wallMs, ts.baseWallMs);
+    }
+    std::fprintf(f, ",\"throughput_gain\":%.4f}\n", gain);
     std::fclose(f);
     std::printf("wrote %s\n", path);
 }
@@ -419,6 +452,63 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    // Trace-writer overhead: the top scale-up point once more, now
+    // streaming its complete audit record stream to disk. The stream
+    // sink must not perturb the simulation — cycles are asserted
+    // bit-identical — so the only cost is host-side: buffered frame
+    // encoding plus the flush stalls the writer itself reports.
+    TraceStreamPoint ts;
+    if (!points.empty()) {
+        const Point &top = points.back();
+        const char *rtt = "service_scalability_stream.rtt";
+        api::RunConfig cfg = base;
+        cfg.shards = top.shards;
+        cfg.memBanks = top.banks;
+        cfg.servicePartitions = top.partitions;
+        if (top.shards > 1) {
+            cfg.tm.backoff.policy = htm::BackoffPolicy::Linear;
+            cfg.tm.backoff.base = kBackoffBase;
+            cfg.tm.backoff.cap = kBackoffCap;
+            cfg.contentionSched = true;
+        }
+        cfg.trace.streamPath = rtt;
+        api::RunResult r = api::runOnce(cfg);
+        flagInvalid(r, "service");
+        all_ok = all_ok && r.validation.ok && r.reenact.ok();
+        ts.measured = true;
+        ts.records = r.traceStream.records;
+        ts.bytes = r.traceStream.bytesWritten;
+        ts.flushes = r.traceStream.flushes;
+        ts.flushWallMs = r.traceStream.flushWallMs;
+        ts.wallMs = r.hostParallel.wallMs;
+        ts.baseWallMs = top.hostWallMs;
+        std::printf("trace stream (%ux%ux%u point): %llu records -> "
+                    "%llu bytes (%.1f B/rec), %llu flushes, %.1f ms "
+                    "flush stall, host wall %.1f ms vs %.1f untraced\n\n",
+                    top.shards, top.banks, top.partitions,
+                    (unsigned long long)ts.records,
+                    (unsigned long long)ts.bytes,
+                    ts.records ? double(ts.bytes) / double(ts.records)
+                               : 0.0,
+                    (unsigned long long)ts.flushes, ts.flushWallMs,
+                    ts.wallMs, ts.baseWallMs);
+        if (r.cycles != top.cycles) {
+            std::printf("!! streaming perturbed the simulation: %llu "
+                        "cycles traced vs %llu untraced\n",
+                        (unsigned long long)r.cycles,
+                        (unsigned long long)top.cycles);
+            all_ok = false;
+        }
+        if (ts.records != r.traceEvents || ts.records == 0) {
+            std::printf("!! stream wrote %llu records for %llu "
+                        "emitted events\n",
+                        (unsigned long long)ts.records,
+                        (unsigned long long)r.traceEvents);
+            all_ok = false;
+        }
+        std::remove(rtt);
+    }
+
     if (points.size() < 2) {
         // Nothing to compare (e.g. RETCON_THREADS=1 leaves only the
         // 1-shard point): not a scaling regression, just inapplicable.
@@ -427,7 +517,7 @@ main(int argc, char **argv)
                     points.size());
         if (json_path)
             writeJson(json_path, base.scale, base.nthreads, points,
-                      fleet, host, 0);
+                      fleet, host, ts, 0);
         return all_ok ? 0 : 1;
     }
     const Point &first = points.front();
@@ -439,7 +529,7 @@ main(int argc, char **argv)
                 last.banks, last.partitions, gain);
     if (json_path)
         writeJson(json_path, base.scale, base.nthreads, points, fleet,
-                  host, gain);
+                  host, ts, gain);
     double min_gain = quick ? kMinGainQuick : 1.0;
     if (!(gain > min_gain) || !all_ok) {
         std::printf("FAIL: scale-out gain %.2fx below the %.2fx floor "

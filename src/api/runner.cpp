@@ -5,6 +5,7 @@
 #include "sim/logging.hpp"
 #include "trace/export.hpp"
 #include "trace/shard_mux.hpp"
+#include "trace/stream.hpp"
 
 namespace retcon::api {
 
@@ -100,6 +101,7 @@ runOnce(const RunConfig &cfg)
     // live stream, which arrives in global order by construction.
     std::unique_ptr<trace::ShardMux> mux;
     std::unique_ptr<trace::ReenactmentValidator> validator;
+    std::unique_ptr<trace::StreamWriter> streamWriter;
     if (cfg.trace.enabled) {
         mux = std::make_unique<trace::ShardMux>(
             cluster.numShards(),
@@ -111,6 +113,14 @@ runOnce(const RunConfig &cfg)
                     return cluster.memory().readWord(a);
                 });
             mux->addDownstream(validator.get());
+        }
+        if (!cfg.trace.streamPath.empty()) {
+            // The live downstream sees the complete dense stream (the
+            // mux feeds in machine-global seq order), independent of
+            // ring retention — streaming works with ringCapacity 0.
+            streamWriter = std::make_unique<trace::StreamWriter>(
+                cfg.trace.streamPath);
+            mux->addDownstream(streamWriter.get());
         }
         cluster.setTraceSink(mux.get());
     }
@@ -204,12 +214,21 @@ runOnce(const RunConfig &cfg)
                  result.reenact.summary().c_str());
         }
     }
+    if (streamWriter) {
+        streamWriter->close();
+        const trace::StreamWriter::Stats &ws = streamWriter->stats();
+        result.traceStream.records = ws.records;
+        result.traceStream.bytesWritten = ws.bytesWritten;
+        result.traceStream.flushes = ws.flushes;
+        result.traceStream.flushWallMs = ws.flushWallMs;
+    }
     if (mux) {
         result.traceEvents = mux->totalEvents();
         if (cfg.trace.ringCapacity > 0 &&
             (cfg.trace.captureInto ||
              !cfg.trace.exportJsonPath.empty() ||
-             !cfg.trace.exportCsvPath.empty())) {
+             !cfg.trace.exportCsvPath.empty() ||
+             !cfg.trace.exportBinPath.empty())) {
             std::vector<trace::Record> merged = mux->mergedSnapshot();
             if (cfg.trace.exportSeqMin != 0 ||
                 cfg.trace.exportSeqMax != 0) {
@@ -220,6 +239,8 @@ runOnce(const RunConfig &cfg)
                 trace::exportJsonFile(merged, cfg.trace.exportJsonPath);
             if (!cfg.trace.exportCsvPath.empty())
                 trace::exportCsvFile(merged, cfg.trace.exportCsvPath);
+            if (!cfg.trace.exportBinPath.empty())
+                trace::exportBinaryFile(merged, cfg.trace.exportBinPath);
             if (cfg.trace.captureInto)
                 cfg.trace.captureInto->insert(
                     cfg.trace.captureInto->end(), merged.begin(),

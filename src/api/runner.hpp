@@ -47,6 +47,25 @@ struct TraceOptions {
     std::string exportCsvPath;
 
     /**
+     * When non-empty, export retained events as framed binary (.rtt,
+     * trace::exportBinaryFile) after the run — the third export
+     * format, bit-exact with the JSON/CSV round trip
+     * (docs/streaming.md).
+     */
+    std::string exportBinPath;
+
+    /**
+     * When non-empty, stream every record to this .rtt file WHILE the
+     * run is live (trace::StreamWriter attached as a mux downstream).
+     * Unlike the exports, this needs no ring retention — it works
+     * with ringCapacity 0 and captures the complete dense stream no
+     * matter how long the run is; RunResult::traceStream reports the
+     * writer's overhead. The streamed file re-validates incrementally
+     * via query::validateStreamFile (docs/streaming.md).
+     */
+    std::string streamPath;
+
+    /**
      * Export window on the machine-global `seq` key: only records
      * with exportSeqMin <= seq < exportSeqMax are written
      * (trace::seqWindow). The defaults (0, 0 = unbounded) export
@@ -243,6 +262,20 @@ struct HostParallelSummary {
     std::uint64_t barrierStalls = 0; ///< Holder waits on in-flight mail.
 };
 
+/**
+ * Live trace-stream writer activity (all-zero unless
+ * TraceOptions::streamPath). Host-side like HostParallelSummary:
+ * flush stalls are wall time the event loop spent blocked in stream
+ * writes, never simulated cycles — streaming must not perturb the
+ * simulation (bench/trace_stream proves cycles identical either way).
+ */
+struct TraceStreamSummary {
+    std::uint64_t records = 0;
+    std::uint64_t bytesWritten = 0; ///< Includes the file header.
+    std::uint64_t flushes = 0;      ///< Batched write() calls.
+    double flushWallMs = 0.0;       ///< Host time blocked writing.
+};
+
 /** Everything a run produces. */
 struct RunResult {
     Cycle cycles = 0;
@@ -273,6 +306,9 @@ struct RunResult {
     trace::ReenactReport reenact;
     /** Events seen by the trace subsystem (0 unless enabled). */
     std::uint64_t traceEvents = 0;
+
+    /** Stream-writer activity (0 unless trace.streamPath was set). */
+    TraceStreamSummary traceStream;
 
     /** Host-side engine metadata (not part of simulated results). */
     HostParallelSummary hostParallel;

@@ -6,6 +6,7 @@
 
 #include "htm/types.hpp"
 #include "trace/export.hpp"
+#include "trace/stream.hpp"
 
 namespace retcon::query {
 
@@ -251,9 +252,36 @@ loadCsv(std::istream &is)
 }
 
 LoadResult
+loadBinary(const std::string &path)
+{
+    LoadResult result;
+    trace::StreamReader reader(path); // Strict: first fault fails.
+    if (!reader.ok()) {
+        result.ok = false;
+        result.error = "cannot open trace file " + path;
+        return result;
+    }
+    trace::Record r;
+    trace::StreamFault fault;
+    while (true) {
+        trace::StreamReader::Status s = reader.next(r, fault);
+        if (s == trace::StreamReader::Status::Record) {
+            result.records.push_back(r);
+            continue;
+        }
+        if (s == trace::StreamReader::Status::Fault) {
+            result.ok = false;
+            result.error = fault.describe();
+            result.records.clear();
+        }
+        return result;
+    }
+}
+
+LoadResult
 loadTraceFile(const std::string &path)
 {
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is) {
         LoadResult r;
         r.ok = false;
@@ -261,13 +289,19 @@ loadTraceFile(const std::string &path)
         return r;
     }
     int first = is.peek();
+    if (first == 'R') { // .rtt binary magic ("RTCSTRM1").
+        is.close();
+        return loadBinary(path);
+    }
     if (first == '{')
         return loadJson(is);
     if (first == 'c')
         return loadCsv(is);
     LoadResult r;
     r.ok = false;
-    r.error = path + ": neither JSON Lines nor CSV trace content";
+    r.error = path +
+              ": neither .rtt binary, JSON Lines, nor CSV trace "
+              "content";
     return r;
 }
 

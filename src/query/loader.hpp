@@ -43,9 +43,18 @@ LoadResult loadJson(std::istream &is);
 LoadResult loadCsv(std::istream &is);
 
 /**
- * Load a trace file, dispatching on content: a first line starting
- * with '{' is JSON Lines, a `cycle,core,...` header is CSV. Fails
- * (ok = false) on unreadable files or unrecognizable content.
+ * Parse a framed binary .rtt stream (docs/streaming.md). Strict like
+ * the text loaders: the first checksum, seq-order, seq-gap (dense
+ * streams), truncation, or payload fault fails the load with an
+ * offset-precise diagnostic instead of yielding a partial stream.
+ */
+LoadResult loadBinary(const std::string &path);
+
+/**
+ * Load a trace file, dispatching on content: a first byte of 'R' is
+ * the .rtt binary magic, a first line starting with '{' is JSON
+ * Lines, a `cycle,core,...` header is CSV. Fails (ok = false) on
+ * unreadable files or unrecognizable content.
  */
 LoadResult loadTraceFile(const std::string &path);
 

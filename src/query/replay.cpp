@@ -4,6 +4,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "trace/stream.hpp"
+
 namespace retcon::query {
 
 namespace {
@@ -94,67 +96,140 @@ struct OfflineMemory {
 
 } // namespace
 
-ReplayResult
-replayValidate(const std::vector<trace::Record> &recs)
-{
+/**
+ * The incremental consumer owns everything the old whole-vector
+ * replay held, but advances one record at a time: offline memory,
+ * the validator, and the pending-abort cascade accumulator.
+ */
+struct StreamingReplay::Impl {
     OfflineMemory mem;
-    trace::ReenactmentValidator validator(
-        [&mem](Addr a) { return mem.read(a); });
-
+    trace::ReenactmentValidator validator;
     // Consecutive abort records form one machine step (a DATM abort
-    // cascade); their rollbacks merge. Flush before any other kind.
+    // cascade); their rollbacks merge. Flushed before any other kind.
     std::vector<CoreId> pendingAborts;
-    auto flushAborts = [&] {
+    std::uint64_t peakOpen = 0;
+
+    Impl()
+        : validator([this](Addr a) { return mem.read(a); })
+    {
+    }
+
+    void
+    flushAborts()
+    {
         if (!pendingAborts.empty()) {
             mem.rollback(pendingAborts);
             pendingAborts.clear();
         }
-    };
-
-    for (const trace::Record &r : recs) {
-        if (r.kind != trace::EventKind::Abort)
-            flushAborts();
-
-        // The validator observes the record against memory as it was
-        // *before* the record's own effect (its commit-drain snapshot
-        // must predate that commit's repairs).
-        validator.onEvent(r);
-
-        switch (r.kind) {
-          case trace::EventKind::Load:
-          case trace::EventKind::SymLoad:
-          case trace::EventKind::Forward:
-            mem.seed(r.addr, r.a);
-            break;
-          case trace::EventKind::Freeze:
-          case trace::EventKind::Pin:
-            mem.seed(r.addr, r.a);
-            break;
-          case trace::EventKind::Store:
-            mem.store(r.core, r.addr, r.b);
-            break;
-          case trace::EventKind::Repair:
-            // Drain writes are undo-logged by the machine too: an
-            // abort after a partial drain restores them, so a repair
-            // is only permanent once its commit record arrives.
-            mem.store(r.core, r.addr, r.b);
-            break;
-          case trace::EventKind::Commit:
-            mem.commit(r.core);
-            break;
-          case trace::EventKind::Abort:
-            pendingAborts.push_back(r.core);
-            break;
-          default:
-            break;
-        }
     }
-    flushAborts();
+};
 
+StreamingReplay::StreamingReplay() : _impl(std::make_unique<Impl>()) {}
+
+StreamingReplay::~StreamingReplay() = default;
+
+void
+StreamingReplay::onRecord(const trace::Record &r)
+{
+    Impl &im = *_impl;
+    if (r.kind != trace::EventKind::Abort)
+        im.flushAborts();
+
+    // The validator observes the record against memory as it was
+    // *before* the record's own effect (its commit-drain snapshot
+    // must predate that commit's repairs).
+    im.validator.onEvent(r);
+
+    switch (r.kind) {
+      case trace::EventKind::Load:
+      case trace::EventKind::SymLoad:
+      case trace::EventKind::Forward:
+        im.mem.seed(r.addr, r.a);
+        break;
+      case trace::EventKind::Freeze:
+      case trace::EventKind::Pin:
+        im.mem.seed(r.addr, r.a);
+        break;
+      case trace::EventKind::Store:
+        im.mem.store(r.core, r.addr, r.b);
+        break;
+      case trace::EventKind::Repair:
+        // Drain writes are undo-logged by the machine too: an abort
+        // after a partial drain restores them, so a repair is only
+        // permanent once its commit record arrives.
+        im.mem.store(r.core, r.addr, r.b);
+        break;
+      case trace::EventKind::Commit:
+        im.mem.commit(r.core);
+        break;
+      case trace::EventKind::Abort:
+        im.pendingAborts.push_back(r.core);
+        break;
+      default:
+        break;
+    }
+    std::size_t open = im.validator.openAttempts();
+    if (open > im.peakOpen)
+        im.peakOpen = open;
+}
+
+std::size_t
+StreamingReplay::openAttempts() const
+{
+    return _impl->validator.openAttempts();
+}
+
+ReplayResult
+StreamingReplay::finish()
+{
+    Impl &im = *_impl;
+    im.flushAborts();
     ReplayResult out;
-    out.report = validator.report();
-    out.seededWords = mem.seeded;
-    out.unknownReads = mem.unknownReads;
+    out.report = im.validator.report();
+    out.seededWords = im.mem.seeded;
+    out.unknownReads = im.mem.unknownReads;
+    out.peakOpenAttempts = im.peakOpen;
+    return out;
+}
+
+ReplayResult
+replayValidate(const std::vector<trace::Record> &recs)
+{
+    StreamingReplay replay;
+    for (const trace::Record &r : recs)
+        replay.onRecord(r);
+    return replay.finish();
+}
+
+StreamValidateResult
+validateStreamFile(const std::string &path)
+{
+    StreamValidateResult out;
+    trace::StreamReader reader(path);
+    if (!reader.ok()) {
+        out.error = "cannot open trace stream " + path;
+        return out;
+    }
+    StreamingReplay replay;
+    trace::Record r;
+    trace::StreamFault fault;
+    while (true) {
+        trace::StreamReader::Status s = reader.next(r, fault);
+        if (s == trace::StreamReader::Status::Record) {
+            replay.onRecord(r);
+            continue;
+        }
+        if (s == trace::StreamReader::Status::Fault) {
+            out.error = path + ": " + fault.describe();
+            out.recordsRead = reader.recordsRead();
+            out.replay = replay.finish();
+            return out;
+        }
+        break;
+    }
+    out.streamOk = true;
+    out.recordsRead = reader.recordsRead();
+    out.replay = replay.finish();
     return out;
 }
 

@@ -67,6 +67,16 @@ ReenactmentValidator::log(CoreId core)
     return _logs[core];
 }
 
+std::size_t
+ReenactmentValidator::openAttempts() const
+{
+    std::size_t open = 0;
+    for (const TxLog &t : _logs)
+        if (t.active)
+            ++open;
+    return open;
+}
+
 void
 ReenactmentValidator::reset()
 {

@@ -115,6 +115,14 @@ class ReenactmentValidator final : public TraceSink
 
     const ReenactReport &report() const { return _report; }
 
+    /**
+     * Attempts currently holding resident log state. Per-attempt logs
+     * retire at commit/abort, so this — not the run length — bounds
+     * the validator's memory: the windowed-validation contract
+     * (docs/streaming.md).
+     */
+    std::size_t openAttempts() const;
+
     /** Forget all per-core logs and results. */
     void reset();
 

@@ -48,7 +48,20 @@
 //                 only the wall-ms column and the sweep wall line
 //                 change. Output is buffered per row and printed in
 //                 canonical workload order.
+//   --trace-out PREFIX  stream every audited cell's complete record
+//                 stream live to PREFIX_<workload>_<config>.rtt
+//                 (docs/streaming.md; requires --audit), then
+//                 re-validate each file incrementally with the
+//                 windowed validator (query::validateStreamFile) and
+//                 fail unless its verdict matches the in-memory audit
+//                 field for field and its resident state stayed
+//                 bounded by open attempts. Files are removed after a
+//                 clean validation unless --trace-keep is given.
+//   --trace-keep  keep the streamed .rtt files on disk (for the CI
+//                 corruption negative control and manual
+//                 retcon-query sessions).
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -60,6 +73,7 @@
 #include <vector>
 
 #include "api/runner.hpp"
+#include "query/replay.hpp"
 
 using namespace retcon;
 
@@ -109,7 +123,95 @@ struct Cell {
     bool supported = true;
     api::RunResult r;
     double wallMs = 0.0;
+    /// Streamed-trace leg (--trace-out): windowed re-validation of
+    /// the live .rtt file, which must agree with the in-memory audit.
+    bool streamOk = true;
+    std::string streamNote;
+    std::uint64_t streamRecords = 0;
+    std::uint64_t streamPeakOpen = 0;
 };
+
+/**
+ * Field-for-field verdict parity between the live audit and the
+ * windowed re-validation of the streamed file. The streamed file is
+ * the complete dense record stream, so every counter — not just the
+ * mismatch verdict — must agree; any drift means the stream or the
+ * windowed consumer lost information.
+ */
+bool
+reenactReportsMatch(const trace::ReenactReport &a,
+                    const trace::ReenactReport &b)
+{
+    return a.commitsChecked == b.commitsChecked &&
+           a.repairsChecked == b.repairsChecked &&
+           a.constraintsChecked == b.constraintsChecked &&
+           a.pinsChecked == b.pinsChecked &&
+           a.abortsSeen == b.abortsSeen &&
+           a.forwardsChecked == b.forwardsChecked &&
+           a.forwardedCommitsChecked == b.forwardedCommitsChecked &&
+           a.forwardedCommitsSkipped == b.forwardedCommitsSkipped &&
+           a.mismatches == b.mismatches;
+}
+
+/** "RetCon" -> "retcon", "lazy-vb" -> "lazy-vb": filename-safe. */
+std::string
+labelSlug(const char *label)
+{
+    std::string s;
+    for (const char *p = label; *p; ++p)
+        s += std::isalnum(static_cast<unsigned char>(*p))
+                 ? static_cast<char>(
+                       std::tolower(static_cast<unsigned char>(*p)))
+                 : '-';
+    return s;
+}
+
+/**
+ * Stream-validate one cell's .rtt file and score it against the live
+ * run: verdict parity, zero skipped chains, and resident validator
+ * state bounded by the core count (the windowed-validation memory
+ * contract, docs/streaming.md).
+ */
+void
+checkStreamedCell(Cell &cell, const std::string &path,
+                  unsigned total_cores, bool keep)
+{
+    query::StreamValidateResult v = query::validateStreamFile(path);
+    cell.streamRecords = v.recordsRead;
+    cell.streamPeakOpen = v.replay.peakOpenAttempts;
+    if (!v.streamOk) {
+        cell.streamOk = false;
+        cell.streamNote = v.error;
+        return;
+    }
+    if (v.recordsRead != cell.r.traceStream.records) {
+        cell.streamOk = false;
+        cell.streamNote =
+            "read " + std::to_string(v.recordsRead) + " of " +
+            std::to_string(cell.r.traceStream.records) +
+            " streamed records";
+        return;
+    }
+    if (!reenactReportsMatch(v.replay.report, cell.r.reenact)) {
+        cell.streamOk = false;
+        cell.streamNote = "windowed verdict diverged from the live "
+                          "audit (windowed: " +
+                          v.replay.report.summary() +
+                          "; live: " + cell.r.reenact.summary() + ")";
+        return;
+    }
+    if (v.replay.peakOpenAttempts > total_cores) {
+        cell.streamOk = false;
+        cell.streamNote =
+            "resident state unbounded: peak " +
+            std::to_string(v.replay.peakOpenAttempts) +
+            " open attempts on " + std::to_string(total_cores) +
+            " cores";
+        return;
+    }
+    if (!keep)
+        std::remove(path.c_str());
+}
 
 /** One output row: the sequential baseline plus every config cell. */
 struct Row {
@@ -158,6 +260,8 @@ main(int argc, char **argv)
     unsigned host_threads = 0;
     double xc_fraction = -1.0; // < 0: default per cluster count.
     htm::BackoffPolicy backoff = htm::BackoffPolicy::None;
+    const char *trace_out = nullptr;
+    bool trace_keep = false;
     double scale = 0.25;
     unsigned nthreads = 8;
     const char *only = nullptr;
@@ -205,6 +309,15 @@ main(int argc, char **argv)
                 return 1;
             }
             host_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--trace-out requires a path prefix\n");
+                return 1;
+            }
+            trace_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-keep") == 0) {
+            trace_keep = true;
         } else if (std::strcmp(argv[i], "--backoff") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--backoff requires a policy "
@@ -247,6 +360,12 @@ main(int argc, char **argv)
         --clusters;
     if (xc_fraction < 0.0)
         xc_fraction = clusters > 1 ? 0.25 : 0.0;
+    if (trace_out && !audit) {
+        // The streamed leg's whole check is verdict parity with the
+        // in-memory audit; without one there is nothing to compare.
+        std::fprintf(stderr, "--trace-out requires --audit\n");
+        return 1;
+    }
 
     if (shards > 1)
         std::printf("event queue sharded %u ways\n", shards);
@@ -263,6 +382,10 @@ main(int argc, char **argv)
         std::printf("host-parallel: %u threads (cell pool + per-run "
                     "engine)\n",
                     host_threads);
+    if (trace_out)
+        std::printf("trace stream: %s_<workload>_<config>.rtt, "
+                    "windowed re-validation%s\n",
+                    trace_out, trace_keep ? ", files kept" : "");
 
     // Lay the whole sweep out as independent tasks (one per sequential
     // baseline, one per config cell), run them on the host-thread
@@ -320,13 +443,27 @@ main(int argc, char **argv)
             // arbitration is always modeled on a fleet.
             if (clusters > 1)
                 cfg.tm.commitTokenArbitration = true;
-            tasks.push_back([&cell, cfg] {
+            std::string stream_path;
+            if (trace_out) {
+                stream_path = std::string(trace_out) + "_" + row.name +
+                              "_" + labelSlug(configs[k].label) +
+                              ".rtt";
+                cfg.trace.streamPath = stream_path;
+            }
+            const unsigned total_cores = nthreads * clusters;
+            tasks.push_back([&cell, cfg, stream_path, total_cores,
+                             trace_keep] {
                 auto t0 = std::chrono::steady_clock::now();
                 cell.r = api::runOnce(cfg);
                 cell.wallMs =
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+                // Re-validate the streamed file inside the task so the
+                // windowed replay overlaps other cells on the pool.
+                if (!stream_path.empty())
+                    checkStreamedCell(cell, stream_path, total_cores,
+                                      trace_keep);
             });
         }
     }
@@ -344,6 +481,11 @@ main(int argc, char **argv)
     std::uint64_t chains_validated = 0;
     std::uint64_t chains_skipped = 0;
     std::uint64_t forward_links = 0;
+    std::uint64_t stream_records = 0;
+    std::uint64_t stream_bytes = 0;
+    std::uint64_t stream_flushes = 0;
+    std::uint64_t stream_peak_open = 0;
+    double stream_flush_ms = 0.0;
     std::uint64_t xc_token_waits = 0;
     std::uint64_t net_messages = 0;
     std::uint64_t net_queue_cycles = 0;
@@ -376,6 +518,19 @@ main(int argc, char **argv)
                 chains_validated += r.reenact.forwardedCommitsChecked;
                 chains_skipped += r.reenact.forwardedCommitsSkipped;
                 forward_links += r.reenact.forwardsChecked;
+            }
+            if (trace_out) {
+                if (!cell.streamOk) {
+                    ok = false;
+                    appendf(line, "(STREAM: %s)",
+                            cell.streamNote.c_str());
+                }
+                stream_records += r.traceStream.records;
+                stream_bytes += r.traceStream.bytesWritten;
+                stream_flushes += r.traceStream.flushes;
+                stream_flush_ms += r.traceStream.flushWallMs;
+                if (cell.streamPeakOpen > stream_peak_open)
+                    stream_peak_open = cell.streamPeakOpen;
             }
             backoff_cycles += r.machineStats.backoffCycles;
             xc_token_waits += r.machineStats.xcTokenWaits;
@@ -427,6 +582,27 @@ main(int argc, char **argv)
         if (!only && chains_validated == 0) {
             std::printf("FAIL: no forwarded commits were re-derived — "
                         "the DATM chain audit was vacuous\n");
+            all_ok = false;
+        }
+    }
+    if (trace_out) {
+        // Writer overhead in the existing bench-JSON spirit: bytes on
+        // disk, amortized frame cost, and host-side flush stalls
+        // (docs/streaming.md). Peak open attempts is the windowed
+        // validator's resident-state bound, checked per cell above.
+        std::printf("trace stream: %llu records, %llu bytes "
+                    "(%.1f bytes/record), %llu flushes, %.1f "
+                    "flush-stall ms, peak %llu open attempts\n",
+                    (unsigned long long)stream_records,
+                    (unsigned long long)stream_bytes,
+                    stream_records
+                        ? double(stream_bytes) / double(stream_records)
+                        : 0.0,
+                    (unsigned long long)stream_flushes, stream_flush_ms,
+                    (unsigned long long)stream_peak_open);
+        if (stream_records == 0) {
+            std::printf("FAIL: --trace-out streamed zero records — "
+                        "the windowed validation was vacuous\n");
             all_ok = false;
         }
     }

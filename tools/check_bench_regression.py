@@ -5,6 +5,7 @@ Reads the two bench JSON documents the CI bench job produces:
 
   BENCH_service_scalability.json  service_scalability --quick --json
   BENCH_micro_structures.json     micro_structures --benchmark_out=...
+  BENCH_trace_stream.json         trace_stream --quick --json
 
 and compares them against the copies committed under bench/baselines/.
 Two very different tolerance regimes apply:
@@ -38,6 +39,7 @@ from pathlib import Path
 
 SERVICE = "BENCH_service_scalability.json"
 MICRO = "BENCH_micro_structures.json"
+TRACE = "BENCH_trace_stream.json"
 
 
 class Reporter:
@@ -213,6 +215,60 @@ def check_micro(base, fresh, tol, rep):
         rep.line(f"  note: new benchmark {name} has no baseline")
 
 
+def check_trace(base, fresh, tol, host_tol, rep):
+    """Gate the streaming trace format bench (docs/streaming.md).
+
+    The format itself is deterministic — bytes_per_record and the
+    service run's record count cannot move without a format or
+    instrumentation change, so they sit in the two-sided simulated
+    band. The codec rates are host time (wide one-sided band), and
+    cycles_identical is an absolute invariant: a stream writer that
+    perturbs the simulation is a correctness bug, not a slowdown.
+    """
+    rep.line(f"== trace_stream (simulated, tolerance {tol:.0%})")
+    if fresh.get("cycles_identical") is not True:
+        rep.fail("trace_stream: streaming perturbed simulated cycles")
+    for label, getter in [
+        ("bytes/record", lambda d: d.get("bytes_per_record")),
+        ("service records",
+         lambda d: (d.get("service") or {}).get("records")),
+        ("service bytes",
+         lambda d: (d.get("service") or {}).get("bytes_written")),
+    ]:
+        b, f = getter(base), getter(fresh)
+        if not b or f is None:
+            rep.line(f"  note: {label} missing from baseline or fresh")
+            continue
+        delta = (f - b) / b
+        verdict = "ok" if abs(delta) <= tol else (
+            "REGRESSED" if delta < 0 else "CHANGED (update baseline)")
+        rep.line(f"  {label}: {b:.1f} -> {f:.1f} ({delta:+.1%}) "
+                 f"{verdict}")
+        if verdict != "ok":
+            rep.fail(f"trace_stream {label} changed {delta:+.1%} "
+                     f"(tolerance +/-{tol:.0%})")
+    rep.line(f"== trace_stream (host time, tolerance {host_tol:.0%})")
+    for label in ("write_recs_per_sec", "read_recs_per_sec"):
+        b, f = base.get(label), fresh.get(label)
+        if not b or f is None:
+            rep.line(f"  note: {label} missing from baseline or fresh")
+            continue
+        delta = (f - b) / b
+        verdict = "ok" if f >= b * (1 - host_tol) else "REGRESSED"
+        rep.line(f"  {label}: {b / 1e6:.2f} -> {f / 1e6:.2f} Mrecs/s "
+                 f"({delta:+.1%}) {verdict}")
+        if verdict != "ok":
+            rep.fail(f"trace_stream {label} regressed {delta:+.1%} "
+                     f"(tolerance -{host_tol:.0%})")
+    # Flush stalls are informational (host-side, sub-ms in CI sizing);
+    # report the trend without gating it.
+    bs = (base.get("service") or {}).get("flush_wall_ms")
+    fs = (fresh.get("service") or {}).get("flush_wall_ms")
+    if bs is not None and fs is not None:
+        rep.line(f"  note: flush stalls {bs:.2f} -> {fs:.2f} ms "
+                 f"(informational)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", default="bench/baselines",
@@ -240,6 +296,12 @@ def main():
     if svc_base and svc_fresh:
         check_service(svc_base, svc_fresh, args.sim_tolerance,
                       args.host_tolerance, rep)
+
+    trace_base = load(base_dir / TRACE, rep)
+    trace_fresh = load(fresh_dir / TRACE, rep)
+    if trace_base and trace_fresh:
+        check_trace(trace_base, trace_fresh, args.sim_tolerance,
+                    args.host_tolerance, rep)
 
     if args.skip_micro:
         rep.line("== micro_structures skipped (--skip-micro)")

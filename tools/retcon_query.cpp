@@ -10,8 +10,9 @@
 //   retcon-query whatif [run options] [--set knob=value]...
 //   retcon-query smoke
 //
-// <trace-file> is either export format (JSON Lines or CSV); the
-// loader sniffs which. Addresses accept 0x-prefixed hex.
+// <trace-file> is any export format — framed binary .rtt
+// (docs/streaming.md), JSON Lines, or CSV — and the loader sniffs
+// which. Addresses accept 0x-prefixed hex.
 //
 // whatif run options (the recorded base configuration):
 //   --workload W  (default service)   --nthreads N  (default 8)
@@ -330,12 +331,15 @@ cmdSmoke()
     std::vector<trace::Record> recorded;
     cfg.trace.captureInto = &recorded;
     cfg.trace.exportJsonPath = "query_smoke_trace.json";
+    cfg.trace.exportBinPath = "query_smoke_trace.rtt";
     api::RunResult r = api::runOnce(cfg);
     check(r.validation.ok, "recorded run validates");
     check(r.reenact.ok(), "recorded run audits clean");
     check(!recorded.empty(), "records captured programmatically");
 
-    // 2. The export round-trips through the loader bit-for-bit.
+    // 2. Both exports round-trip through the loader bit-for-bit: the
+    //    JSON Lines text form and the framed binary .rtt form must
+    //    decode to the same records the run captured.
     query::LoadResult loaded =
         query::loadTraceFile("query_smoke_trace.json");
     if (!loaded.ok)
@@ -346,6 +350,17 @@ cmdSmoke()
         identical = trace::recordsIdentical(loaded.records[i],
                                             recorded[i]);
     check(identical, "file round-trip is bit-identical");
+    query::LoadResult loadedBin =
+        query::loadTraceFile("query_smoke_trace.rtt");
+    if (!loadedBin.ok)
+        std::fprintf(stderr, "  load error: %s\n",
+                     loadedBin.error.c_str());
+    check(loadedBin.ok, "binary .rtt export loads");
+    bool binIdentical = loadedBin.records.size() == recorded.size();
+    for (std::size_t i = 0; binIdentical && i < recorded.size(); ++i)
+        binIdentical = trace::recordsIdentical(loadedBin.records[i],
+                                               recorded[i]);
+    check(binIdentical, "binary round-trip is bit-identical");
 
     // 3. Query surfaces on the loaded trace.
     query::TraceIndex idx(std::move(loaded.records));
@@ -403,6 +418,7 @@ cmdSmoke()
     check(diff.reenact.report.ok(), "spliced stream reenacts clean");
 
     std::remove("query_smoke_trace.json");
+    std::remove("query_smoke_trace.rtt");
     std::printf("query smoke: %s\n",
                 failures == 0 ? "all checks passed" : "FAILURES");
     return failures == 0 ? 0 : 1;
@@ -418,7 +434,8 @@ usage()
         "       retcon-query <trace-file> blame <uid | mark:<id>>\n"
         "       retcon-query <trace-file> diff <commit-seq>\n"
         "       retcon-query whatif [options] [--set knob=value]...\n"
-        "       retcon-query smoke\n");
+        "       retcon-query smoke\n"
+        "<trace-file>: .rtt binary stream, JSON Lines, or CSV\n");
     return 2;
 }
 
