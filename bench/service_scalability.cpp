@@ -54,6 +54,7 @@
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace retcon;
 using namespace retcon::bench;
@@ -125,6 +126,22 @@ struct TraceStreamPoint {
     double baseWallMs = 0; ///< Host wall of the untraced point.
 };
 
+/// One scenario point: the top scale-up config re-run under a
+/// registered scenario (docs/scenarios.md) — open-loop arrivals,
+/// mid-run shifts, fault windows. Pins each scenario's throughput and
+/// arrival ledger so traffic-shape behaviour cannot drift silently.
+struct ScenarioPoint {
+    const char *name = "";
+    Cycle cycles = 0;
+    double throughput = 0; ///< Commits per kilocycle.
+    std::uint64_t injected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t peakBacklog = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t bankFaultCycles = 0;
+};
+
 /// One scale-OUT point: the same fleet-wide core count split across a
 /// 2-cluster fleet, swept over the cross-cluster request fraction.
 struct FleetPoint {
@@ -142,6 +159,7 @@ writeJson(const char *path, double scale, unsigned nthreads,
           const std::vector<Point> &points,
           const std::vector<FleetPoint> &fleet,
           const std::vector<HostPoint> &host,
+          const std::vector<ScenarioPoint> &scenarios,
           const TraceStreamPoint &ts, double gain)
 {
     std::FILE *f = std::fopen(path, "w");
@@ -196,6 +214,25 @@ writeJson(const char *path, double scale, unsigned nthreads,
                      i ? "," : "", p.threads,
                      (unsigned long long)p.cycles,
                      (unsigned long long)p.commits, p.wallMs);
+    }
+    std::fprintf(f, "],\"scenario_points\":[");
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const ScenarioPoint &p = scenarios[i];
+        std::fprintf(f,
+                     "%s{\"scenario\":\"%s\",\"cycles\":%llu,"
+                     "\"commits_per_kcycle\":%.4f,"
+                     "\"injected\":%llu,\"completed\":%llu,"
+                     "\"dropped\":%llu,\"peak_backlog\":%llu,"
+                     "\"stall_cycles\":%llu,"
+                     "\"bank_fault_cycles\":%llu}",
+                     i ? "," : "", p.name,
+                     (unsigned long long)p.cycles, p.throughput,
+                     (unsigned long long)p.injected,
+                     (unsigned long long)p.completed,
+                     (unsigned long long)p.dropped,
+                     (unsigned long long)p.peakBacklog,
+                     (unsigned long long)p.stallCycles,
+                     (unsigned long long)p.bankFaultCycles);
     }
     std::fprintf(f, "]");
     if (ts.measured) {
@@ -452,6 +489,66 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    // Scenario axis: the top scale-up config re-run under every
+    // registered scenario (docs/scenarios.md). Open-loop arrivals make
+    // throughput arrival-limited instead of core-limited, and the
+    // fault scenarios carve capacity out — the baseline pins each
+    // shape's commits/kcycle and its arrival ledger, so a change in
+    // traffic-shape behaviour (or a silently dead scenario) fails the
+    // bench gate like any other simulated regression.
+    std::vector<ScenarioPoint> scenarios;
+    if (!points.empty()) {
+        const Point &top = points.back();
+        api::RunConfig cfg = base;
+        cfg.shards = top.shards;
+        cfg.memBanks = top.banks;
+        cfg.servicePartitions = top.partitions;
+        if (top.shards > 1) {
+            cfg.tm.backoff.policy = htm::BackoffPolicy::Linear;
+            cfg.tm.backoff.base = kBackoffBase;
+            cfg.tm.backoff.cap = kBackoffCap;
+            cfg.contentionSched = true;
+        }
+        std::printf("scenario axis: %ux%ux%u point vs registered "
+                    "scenarios\n",
+                    top.shards, top.banks, top.partitions);
+        for (const scenario::Scenario &sc : scenario::registry()) {
+            cfg.scenario = sc.name;
+            api::RunResult r = api::runOnce(cfg);
+            flagInvalid(r, "service");
+            all_ok = all_ok && r.validation.ok && r.reenact.ok() &&
+                     r.reenact.forwardedCommitsSkipped == 0;
+            if (!r.reenact.ok())
+                std::printf("!! reenactment audit: %s\n",
+                            r.reenact.summary().c_str());
+            const api::ScenarioSummary &ss = r.scenario;
+            if (ss.injected != ss.completed + ss.dropped) {
+                std::printf("!! %s arrival ledger does not conserve\n",
+                            sc.name);
+                all_ok = false;
+            }
+            ScenarioPoint p;
+            p.name = sc.name;
+            p.cycles = r.cycles;
+            p.throughput = 1000.0 * double(r.coreStats.commits) /
+                           double(r.cycles);
+            p.injected = ss.injected;
+            p.completed = ss.completed;
+            p.dropped = ss.dropped;
+            p.peakBacklog = ss.peakBacklog;
+            p.stallCycles = ss.stallCycles;
+            p.bankFaultCycles = ss.bankFaultCycles;
+            scenarios.push_back(p);
+            std::printf("  %-15s %llu cycles, %.2f commits/kcycle"
+                        ", %llu/%llu/%llu inj/done/drop\n",
+                        sc.name, (unsigned long long)p.cycles,
+                        p.throughput, (unsigned long long)p.injected,
+                        (unsigned long long)p.completed,
+                        (unsigned long long)p.dropped);
+        }
+        std::printf("\n");
+    }
+
     // Trace-writer overhead: the top scale-up point once more, now
     // streaming its complete audit record stream to disk. The stream
     // sink must not perturb the simulation — cycles are asserted
@@ -517,7 +614,7 @@ main(int argc, char **argv)
                     points.size());
         if (json_path)
             writeJson(json_path, base.scale, base.nthreads, points,
-                      fleet, host, ts, 0);
+                      fleet, host, scenarios, ts, 0);
         return all_ok ? 0 : 1;
     }
     const Point &first = points.front();
@@ -529,7 +626,7 @@ main(int argc, char **argv)
                 last.banks, last.partitions, gain);
     if (json_path)
         writeJson(json_path, base.scale, base.nthreads, points, fleet,
-                  host, ts, gain);
+                  host, scenarios, ts, gain);
     double min_gain = quick ? kMinGainQuick : 1.0;
     if (!(gain > min_gain) || !all_ok) {
         std::printf("FAIL: scale-out gain %.2fx below the %.2fx floor "

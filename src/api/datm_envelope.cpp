@@ -1,0 +1,62 @@
+#include "api/datm_envelope.hpp"
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "workloads/workload.hpp"
+
+namespace retcon::api {
+
+const std::vector<DatmEnvelopeEntry> &
+datmEnvelope()
+{
+    // Bounds are pinned by tests/unit/test_scenario.cpp: the widened
+    // points (intruder 0.25, service 0.75) run audited there, so the
+    // table cannot drift optimistic without a test run noticing.
+    static const std::vector<DatmEnvelopeEntry> rows = {
+        {"python", true, 0.0, false,
+         "interpreter-lock forwarding diverges under DATM"},
+        {"intruder", true, 0.25, false,
+         "flow-reassembly cascades exhaust arenas beyond scale 0.25 "
+         "(was 0.1 before per-mode arena sizing + back-pressure)"},
+        {"yada", false, 0.1, false,
+         "mesh-epoch cascade storms stop converging beyond tiny "
+         "inputs"},
+        {"service", false, 0.75, true,
+         "Zipfian-hot forwarding cascades exhaust arenas at full "
+         "scale (was 0.5 before per-mode arena sizing)"},
+    };
+    return rows;
+}
+
+bool
+datmSupported(const std::string &workload, double scale,
+              unsigned clusters)
+{
+    for (const DatmEnvelopeEntry &e : datmEnvelope()) {
+        bool match = e.prefix
+                         ? workload.rfind(e.workload, 0) == 0
+                         : workload == e.workload;
+        if (!match)
+            continue;
+        if (clusters > 1 && !e.fleetSupported)
+            return false;
+        return scale <= e.maxScale;
+    }
+    return true;
+}
+
+Addr
+arenaBytesFor(htm::TMMode mode, unsigned nthreads)
+{
+    if (mode != htm::TMMode::DATM)
+        return 0; // WorkloadParams::arena() falls back to the default.
+    Addr widened = workloads::kDefaultArenaBytes * 4;
+    // (nthreads + 1) arenas — one per thread plus the shared setup
+    // arena — must fit a cluster heap region, block-aligned.
+    Addr cap = net::kClusterRegionBytes / (nthreads + 1);
+    cap &= ~(Addr(kBlockBytes) - 1);
+    return std::min(widened, cap);
+}
+
+} // namespace retcon::api

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "api/datm_envelope.hpp"
 #include "sim/logging.hpp"
 #include "trace/export.hpp"
 #include "trace/shard_mux.hpp"
@@ -64,6 +65,31 @@ runOnce(const RunConfig &cfg)
     params.clusters = cfg.clusters;
     params.crossClusterFraction = cfg.crossClusterFraction;
     params.annotatePhases = cfg.annotatePhases;
+    params.arenaBytes = arenaBytesFor(cfg.tm.mode, params.nthreads);
+
+    // Resolve the scenario before anything else so a typo fails fast.
+    // The runtime owns the plan for the whole run; the workload reads
+    // it through params.scenario, machine-level fault overlays are
+    // installed below once the fleet exists.
+    std::unique_ptr<scenario::Runtime> scenarioRt;
+    if (!cfg.scenario.empty()) {
+        const scenario::Scenario *sc =
+            scenario::scenarioByName(cfg.scenario);
+        if (sc == nullptr)
+            fatal("unknown scenario '%s' (see --list-scenarios)",
+                  cfg.scenario.c_str());
+        sim_assert(cfg.workload == "service",
+                   "scenario '%s' requires the service workload, not "
+                   "%s",
+                   cfg.scenario.c_str(), cfg.workload.c_str());
+        scenario::Env env;
+        env.seed = cfg.seed;
+        env.scale = cfg.scale;
+        env.nthreads = params.nthreads;
+        env.clusters = cfg.clusters;
+        scenarioRt = std::make_unique<scenario::Runtime>(*sc, env);
+        params.scenario = scenarioRt.get();
+    }
     auto workload = workloads::makeWorkload(cfg.workload, params);
 
     // nthreads/shards/memBanks size ONE cluster; the Fleet multiplies
@@ -93,6 +119,39 @@ runOnce(const RunConfig &cfg)
 
     exec::Fleet fleet(ccfg, cfg.clusters, ncfg);
     exec::Cluster &cluster = fleet.cluster();
+
+    // Machine-level fault overlays from the scenario plan. Both are
+    // windows over simulated time keyed on addresses/link indices —
+    // pure functions of simulated state, so the determinism contract
+    // (shards, hostThreads, banks) is untouched.
+    if (scenarioRt) {
+        const scenario::FaultConfig &f = scenarioRt->plan().fault;
+        if (f.bankSlow) {
+            mem::MemorySystem::BankFault bf;
+            bf.sliceMod = f.bankSliceMod;
+            bf.sliceVictim = f.bankSliceVictim;
+            bf.period = f.bankPeriod;
+            bf.len = f.bankLen;
+            bf.offset = f.bankOffset;
+            bf.extra = f.bankExtra;
+            cluster.memorySystem().setBankFault(bf);
+        }
+        if (f.linkDegrade) {
+            if (net::Interconnect *n = fleet.net()) {
+                net::Interconnect::LinkFault lf;
+                lf.link = static_cast<unsigned>(f.linkSelector %
+                                                n->numLinks());
+                lf.period = f.linkPeriod;
+                lf.len = f.linkLen;
+                lf.offset = f.linkOffset;
+                lf.latencyMult = f.linkLatencyMult;
+                n->setLinkFault(lf);
+            }
+            // No interconnect at clusters == 1: the fault is inert by
+            // definition (nothing to degrade), not dropped — the
+            // scenario still runs its arrival/shift families.
+        }
+    }
 
     // Optional provenance/audit instrumentation. The sinks must
     // outlive the run; the validator reads architectural memory, so it
@@ -203,6 +262,30 @@ runOnce(const RunConfig &cfg)
             sum.messages = ls.messages;
             sum.payloadWords = ls.payloadWords;
             sum.queueCycles = ls.queueCycles;
+        }
+    }
+
+    if (scenarioRt) {
+        ScenarioSummary &sum = result.scenario;
+        const scenario::Plan &plan = scenarioRt->plan();
+        const scenario::Runtime::Stats &st = scenarioRt->stats();
+        sum.name = scenarioRt->scenario().name;
+        sum.openLoop = plan.arrival.open();
+        sum.phases = plan.shift.phases;
+        sum.injected = st.injected;
+        sum.completed = st.completed;
+        sum.dropped = st.dropped;
+        sum.peakBacklog = st.peakBacklog;
+        sum.latencySum = st.latencySum;
+        sum.latencyMax = st.latencyMax;
+        sum.phaseMarks = st.phaseMarks;
+        sum.stallHits = st.stallHits;
+        sum.stallCycles = st.stallCycles;
+        sum.bankFaultStalls = cluster.memorySystem().bankFaultStalls();
+        sum.bankFaultCycles = cluster.memorySystem().bankFaultCycles();
+        if (const net::Interconnect *n = fleet.net()) {
+            sum.linkFaultMessages = n->faultMessages();
+            sum.linkFaultCycles = n->faultExtraCycles();
         }
     }
 

@@ -21,6 +21,7 @@
 #include "exec/cluster.hpp"
 #include "exec/fleet.hpp"
 #include "htm/machine.hpp"
+#include "scenario/scenario.hpp"
 #include "trace/reenact.hpp"
 #include "workloads/workload.hpp"
 
@@ -186,6 +187,19 @@ struct RunConfig {
      * is never made).
      */
     double crossClusterFraction = 0.0;
+
+    /**
+     * Named scenario from the scenario registry (src/scenario/,
+     * docs/scenarios.md): open-loop arrival processes, mid-run
+     * mix/hotset shifts, and deterministic fault windows for the
+     * `service` workload. Empty (the default) is the plain stationary
+     * run, bit-identical to pre-scenario behaviour. runOnce fatal()s
+     * on unknown names and on non-service workloads; the plan is
+     * derived deterministically from `seed`, so scenario runs keep
+     * the full shards/hostThreads/banks determinism contract and run
+     * under the reenactment audit like any other run.
+     */
+    std::string scenario;
 };
 
 /** Per-shard outcome of a run (one entry per event-queue shard). */
@@ -276,6 +290,45 @@ struct TraceStreamSummary {
     double flushWallMs = 0.0;       ///< Host time blocked writing.
 };
 
+/**
+ * Scenario outcome (all-zero/empty unless RunConfig::scenario). The
+ * arrival/stall fields aggregate the workers' scenario accounting
+ * (scenario::Runtime::Stats); the fault fields read the machine-level
+ * overlays back out of the memory system and the interconnect.
+ * Everything here is simulated state — part of the determinism
+ * fingerprint, unlike HostParallelSummary.
+ */
+struct ScenarioSummary {
+    std::string name;
+    bool openLoop = false;
+    unsigned phases = 1;
+
+    /// Arrival-queue accounting, summed over workers. Conservation:
+    /// injected == completed + dropped (workers drain their backlog
+    /// before finishing, so nothing is left in flight at the end).
+    std::uint64_t injected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t peakBacklog = 0; ///< Max per-worker queue depth.
+    std::uint64_t latencySum = 0;  ///< Sum of queueing delays.
+    std::uint64_t latencyMax = 0;
+
+    /// Mid-run shift annotations emitted (phase boundaries).
+    std::uint64_t phaseMarks = 0;
+
+    /// Core-stall fault engagement.
+    std::uint64_t stallHits = 0;
+    std::uint64_t stallCycles = 0;
+
+    /// Slow-bank fault engagement (mem::MemorySystem counters).
+    std::uint64_t bankFaultStalls = 0;
+    std::uint64_t bankFaultCycles = 0;
+
+    /// Degraded-link fault engagement (0 at clusters == 1).
+    std::uint64_t linkFaultMessages = 0;
+    std::uint64_t linkFaultCycles = 0;
+};
+
 /** Everything a run produces. */
 struct RunResult {
     Cycle cycles = 0;
@@ -312,6 +365,9 @@ struct RunResult {
 
     /** Host-side engine metadata (not part of simulated results). */
     HostParallelSummary hostParallel;
+
+    /** Scenario outcome (empty name unless RunConfig::scenario). */
+    ScenarioSummary scenario;
 };
 
 /** Baseline HTM of §2: eager + oldest-wins. */

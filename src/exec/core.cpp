@@ -216,6 +216,12 @@ WorkerCtx::annotate(Word mark_id)
     _core->machine().userMark(_core->id(), mark_id);
 }
 
+Cycle
+WorkerCtx::now() const
+{
+    return _core->now();
+}
+
 // ---------------------------------------------------------------------
 // Core
 // ---------------------------------------------------------------------

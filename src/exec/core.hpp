@@ -222,6 +222,14 @@ class WorkerCtx
      */
     void annotate(Word mark_id);
 
+    /**
+     * The current simulated cycle (the global clock — identical on
+     * every shard and host-thread configuration by the determinism
+     * contract). Lets open-loop workloads pace themselves against
+     * modeled arrival processes (src/scenario/).
+     */
+    Cycle now() const;
+
     CoreId tid() const { return _tid; }
     unsigned nthreads() const { return _nthreads; }
     Xoshiro &rng() { return _rng; }
@@ -270,6 +278,8 @@ class Core
     CoreId id() const { return _id; }
     /** Home event-queue shard this core schedules onto. */
     unsigned shard() const { return _eq.shard(); }
+    /** Current global simulated cycle (see WorkerCtx::now). */
+    Cycle now() const { return _eq.now(); }
     const TimeBreakdown &breakdown() const { return _breakdown; }
     const CoreStats &stats() const { return _stats; }
     WorkerCtx &ctx() { return *_ctx; }

@@ -120,6 +120,7 @@ TMMachine::TMMachine(const SimClock &clock, mem::MemorySystem &ms,
     _nackStreak.assign(ms.numCores(), 0);
     _abortStreak.assign(ms.numCores(), 0);
     _conflictHeat.assign(ms.numCores(), 0);
+    _cascadeStreak.assign(ms.numCores(), 0);
     _abortBlame.assign(ms.numCores(), 0);
     _backoffRng.reserve(ms.numCores());
     for (unsigned i = 0; i < ms.numCores(); ++i)
@@ -455,6 +456,13 @@ TMMachine::datmAbortCascade(CoreId core, AbortCause cause,
                 _contention(m, bl);
         }
         AbortCause c = (m == core) ? cause : AbortCause::DatmCascade;
+        // Any multi-member cascade (or a dependence-cycle kill) bumps
+        // every member's cascade streak: each one's restart will be
+        // back-pressured so the chain doesn't instantly rebuild. A
+        // plain single-transaction DATM abort is not a cascade.
+        if (members.size() > 1 || c == AbortCause::DatmCycle ||
+            c == AbortCause::DatmCascade)
+            ++_cascadeStreak[m];
         ++_stats.abortsByCause[static_cast<int>(c)];
         emitTrace(m, "abort", 0, static_cast<Word>(c));
         audit(m, trace::EventKind::Abort, bl, 0, 0, std::nullopt,
@@ -1208,14 +1216,26 @@ TMMachine::nackLatency(CoreId core, bool conflict)
 Cycle
 TMMachine::restartBackoff(CoreId core)
 {
+    // DATM cascade back-pressure: deterministic (no jitter),
+    // independent of the retry-backoff policy, charged only to cores
+    // whose last abort came from a forwarding cascade — every
+    // non-DATM mode never builds a streak and is bit-identical.
+    Cycle cascade = 0;
+    if (_cfg.datmCascadeBackpressure && _cascadeStreak[core] > 0) {
+        std::uint32_t s = std::min(_cascadeStreak[core] - 1, 16u);
+        cascade = std::min(_cfg.datmCascadeCap,
+                           _cfg.datmCascadeBase << s);
+        ++_stats.cascadeBpRestarts;
+        _stats.cascadeBpCycles += cascade;
+    }
     if (_cfg.backoff.policy == BackoffPolicy::None)
-        return 0;
+        return cascade;
     Cycle extra = backoffExtra(core, _abortStreak[core]);
     if (extra > 0) {
         ++_stats.backoffRestarts;
         _stats.backoffCycles += extra;
     }
-    return extra;
+    return cascade + extra;
 }
 
 // ---------------------------------------------------------------------
@@ -1704,6 +1724,7 @@ TMMachine::finalizeCommit(CoreId core)
     _nackStreak[core] = 0;
     _abortStreak[core] = 0;
     _conflictHeat[core] >>= 1;
+    _cascadeStreak[core] = 0;
     ++_stats.commits;
     emitTrace(core, "commit", 0, 0);
     audit(core, trace::EventKind::Commit, 0, 0, 0, std::nullopt,

@@ -210,6 +210,25 @@ struct TMConfig {
     std::uint64_t zombieOpLimit = 100000;
 
     /**
+     * DATM cascade back-pressure (part of the DATM support envelope —
+     * api/datm_envelope.hpp). A core whose transaction was killed by
+     * a forwarding cascade delays its restart by
+     * min(datmCascadeCap, datmCascadeBase << (streak - 1)) cycles,
+     * where the streak counts consecutive cascade aborts since the
+     * core's last commit. This breaks the retry storms that keep
+     * cascading workloads from converging: re-launching every cascade
+     * member at once just rebuilds the same dataflow chain and kills
+     * it again. On by default; only cascade-cause aborts are charged,
+     * so every non-DATM mode is bit-identical either way, and the
+     * delay is deterministic (no jitter) independent of
+     * BackoffConfig::policy. Charged cycles are reported separately
+     * (MachineStats::cascadeBpCycles), never as backoffCycles.
+     */
+    bool datmCascadeBackpressure = true;
+    Cycle datmCascadeBase = 16;
+    Cycle datmCascadeCap = 2048;
+
+    /**
      * Test-only fault injection: XORed into every commit-time repaired
      * store value before it is written. Nonzero values deliberately
      * corrupt repairs so the trace/reenact audit oracle can be shown

@@ -30,19 +30,32 @@ MemorySystem::bankVisit(Addr block)
     unsigned bank = _directory.bankOf(block);
     BankStats &bs = _bankStats[bank];
     ++bs.requests;
-    if (_timing.bankOccupancy == 0 || !_clock)
-        return 0;
-    // The request reaches the directory one hop after issue; the bank
-    // services requests back to back, `bankOccupancy` cycles each.
-    Cycle arrive = _clock->now() + _timing.l1Hit + _timing.l2Hit +
-                   _timing.hop;
-    Cycle start = std::max(arrive, _bankFreeAt[bank]);
-    _bankFreeAt[bank] = start + _timing.bankOccupancy;
-    Cycle stall = start - arrive;
-    if (stall > 0) {
-        ++bs.stalled;
-        bs.stallCycles += stall;
-        _stats.add("bank_stalls");
+    Cycle stall = 0;
+    if (_timing.bankOccupancy != 0 && _clock) {
+        // The request reaches the directory one hop after issue; the
+        // bank services requests back to back, `bankOccupancy` cycles
+        // each.
+        Cycle arrive = _clock->now() + _timing.l1Hit + _timing.l2Hit +
+                       _timing.hop;
+        Cycle start = std::max(arrive, _bankFreeAt[bank]);
+        _bankFreeAt[bank] = start + _timing.bankOccupancy;
+        stall = start - arrive;
+        if (stall > 0) {
+            ++bs.stalled;
+            bs.stallCycles += stall;
+            _stats.add("bank_stalls");
+        }
+    }
+    if (_bankFault.period != 0 && _clock &&
+        (block / kBlockBytes) % _bankFault.sliceMod ==
+            _bankFault.sliceVictim) {
+        Cycle now = _clock->now();
+        if ((now + _bankFault.offset) % _bankFault.period <
+            _bankFault.len) {
+            stall += _bankFault.extra;
+            ++_bankFaultStalls;
+            _bankFaultCycles += _bankFault.extra;
+        }
     }
     return stall;
 }

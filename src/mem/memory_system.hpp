@@ -104,9 +104,36 @@ class MemorySystem
         std::uint64_t stallCycles = 0; ///< Total slip cycles.
     };
 
+    /**
+     * Slow-bank fault window (src/scenario/): directory visits to one
+     * address slice pay `extra` cycles while the periodic window is
+     * active. The victim is an *address* class — blocks with
+     * (block / kBlockBytes) mod sliceMod == sliceVictim, i.e. exactly
+     * one bank of a sliceMod-banked directory — not a configured bank
+     * index, so the fault is bit-identical across bank counts the
+     * same way unmodeled occupancy is. period == 0 disables.
+     */
+    struct BankFault {
+        unsigned sliceMod = 16;
+        unsigned sliceVictim = 0;
+        Cycle period = 0;
+        Cycle len = 0;
+        Cycle offset = 0;
+        Cycle extra = 0;
+    };
+
     MemorySystem(unsigned num_cores, const MemTimingConfig &timing = {},
                  const CacheConfig &caches = {}, unsigned num_banks = 1,
                  const net::FleetTopology &topo = {});
+
+    /** Install (or clear, with period 0) the slow-bank fault. */
+    void setBankFault(const BankFault &f) { _bankFault = f; }
+
+    /** Directory visits that paid the slow-bank fault. */
+    std::uint64_t bankFaultStalls() const { return _bankFaultStalls; }
+
+    /** Total extra cycles charged by the slow-bank fault. */
+    std::uint64_t bankFaultCycles() const { return _bankFaultCycles; }
 
     /** Register the (single) HTM-side listener. */
     void setListener(CoherenceListener *l) { _listener = l; }
@@ -207,6 +234,11 @@ class MemorySystem
     /// Bank-occupancy model: per-bank busy-until cycle + counters.
     std::vector<Cycle> _bankFreeAt;
     std::vector<BankStats> _bankStats;
+
+    /// Slow-bank fault window + counters (inert at period 0).
+    BankFault _bankFault;
+    std::uint64_t _bankFaultStalls = 0;
+    std::uint64_t _bankFaultCycles = 0;
 
     /** Install @p block into @p core's L1+L2, handling evictions. */
     void fill(CoreId core, Addr block);

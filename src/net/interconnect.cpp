@@ -94,7 +94,15 @@ Interconnect::crossLink(unsigned link, unsigned words, Cycle now)
     ++l.stats.messages;
     l.stats.payloadWords += words;
     l.stats.queueCycles += queue;
-    return queue + drain + _cfg.linkLatency;
+    Cycle latency = _cfg.linkLatency;
+    if (_linkFault.period != 0 && link == _linkFault.link &&
+        (now + _linkFault.offset) % _linkFault.period < _linkFault.len) {
+        Cycle extra = latency * (_linkFault.latencyMult - 1);
+        latency += extra;
+        ++_faultMessages;
+        _faultExtra += extra;
+    }
+    return queue + drain + latency;
 }
 
 Cycle

@@ -82,10 +82,35 @@ class Interconnect
         std::uint64_t queueCycles = 0; ///< Waits behind earlier traffic.
     };
 
+    /**
+     * Degraded-link fault window (src/scenario/): the one directed
+     * link `link` multiplies its hop latency by `latencyMult` while
+     * the periodic window — ((now + offset) mod period) < len — is
+     * active. period == 0 disables. Deterministic in simulated time,
+     * so faulted fleet runs stay exactly as deterministic as healthy
+     * ones.
+     */
+    struct LinkFault {
+        unsigned link = 0;
+        Cycle period = 0;
+        Cycle len = 0;
+        Cycle offset = 0;
+        unsigned latencyMult = 1;
+    };
+
     Interconnect(unsigned clusters, const NetConfig &cfg);
 
     unsigned clusters() const { return _clusters; }
     const NetConfig &config() const { return _cfg; }
+
+    /** Install (or clear, with period 0) the degraded-link fault. */
+    void setLinkFault(const LinkFault &f) { _linkFault = f; }
+
+    /** Messages that crossed the degraded link inside a window. */
+    std::uint64_t faultMessages() const { return _faultMessages; }
+
+    /** Total extra latency cycles the degraded link imposed. */
+    std::uint64_t faultExtraCycles() const { return _faultExtra; }
 
     /**
      * Deliver a @p words-word message from cluster @p src to @p dst,
@@ -140,6 +165,9 @@ class Interconnect
     unsigned _clusters;
     NetConfig _cfg;
     std::vector<Link> _links;
+    LinkFault _linkFault;
+    std::uint64_t _faultMessages = 0;
+    std::uint64_t _faultExtra = 0;
 
     /** Cycles a @p words-word message occupies one link. */
     Cycle serializeCycles(unsigned words) const;

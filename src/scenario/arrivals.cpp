@@ -1,0 +1,69 @@
+#include "scenario/arrivals.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace retcon::scenario {
+
+ArrivalSource::ArrivalSource(const Runtime &rt, std::uint64_t seed,
+                             unsigned tid, std::uint64_t total)
+    : _rt(rt), _total(total),
+      // A stream disjoint from the worker's request stream: same
+      // per-thread splitting, different seed lane.
+      _rng(Xoshiro::forThread(seed ^ 0xa1717a1ull, tid))
+{
+    sim_assert(_rt.plan().arrival.open(),
+               "ArrivalSource on a closed-loop plan");
+    if (_total > 0)
+        generateNext(); // First arrival, gap measured from cycle 0.
+}
+
+void
+ArrivalSource::generateNext()
+{
+    const ArrivalConfig &a = _rt.plan().arrival;
+    double u = _rng.uniform();
+    double raw = -std::log(1.0 - u) * a.meanGap;
+    double rate = _rt.rateMult(_nextArrival);
+    if (rate < 0.01)
+        rate = 0.01;
+    auto gap = static_cast<Cycle>(raw / rate);
+    _nextArrival += gap < 1 ? 1 : gap;
+}
+
+ArrivalSource::Next
+ArrivalSource::pull(Cycle now)
+{
+    const ArrivalConfig &a = _rt.plan().arrival;
+    while (_generated < _total && _nextArrival <= now) {
+        ++_stats.injected;
+        if (_backlog.size() >= a.queueBound) {
+            ++_stats.dropped; // Tail drop: the arrival, not the queue.
+        } else {
+            _backlog.push_back(_nextArrival);
+            if (_backlog.size() > _stats.peakBacklog)
+                _stats.peakBacklog = _backlog.size();
+        }
+        ++_generated;
+        generateNext();
+    }
+    sim_assert(_stats.injected ==
+                   _stats.completed + _stats.dropped + _backlog.size(),
+               "arrival conservation violated");
+    if (!_backlog.empty()) {
+        Cycle arrival = _backlog.front();
+        _backlog.pop_front();
+        ++_stats.completed;
+        std::uint64_t lat = now - arrival;
+        _stats.latencySum += lat;
+        if (lat > _stats.latencyMax)
+            _stats.latencyMax = lat;
+        return {Next::Ready, arrival};
+    }
+    if (_generated < _total)
+        return {Next::Wait, _nextArrival};
+    return {Next::Done, now};
+}
+
+} // namespace retcon::scenario

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-worker open-loop arrival source: a modeled arrival queue with
+ * backlog, tail-drop, and latency accounting.
+ *
+ * Arrival times are generated lazily, one ahead, from a dedicated
+ * Xoshiro stream (seeded from the run seed and the worker's tid, so
+ * they are independent of the worker's request-randomness stream and
+ * of anything host-side). Each gap is an exponential draw at the
+ * plan's mean, divided by the scenario's rate multiplier *at the
+ * previous arrival's cycle* — rate-scaled gaps, the standard
+ * discrete-event approximation of an inhomogeneous Poisson process
+ * (docs/scenarios.md discusses the fidelity tradeoff vs thinning).
+ *
+ * The worker drives the source from simulated time (WorkerCtx::now):
+ * pull(now) first materializes every arrival that has occurred by
+ * `now` — queueing each, or tail-dropping it when the backlog is at
+ * the plan's bound — then pops the oldest queued request. The
+ * conservation invariant `injected == completed + dropped + backlog`
+ * is asserted on every pull and is what the scenario test suite pins
+ * end to end.
+ */
+
+#ifndef RETCON_SCENARIO_ARRIVALS_HPP
+#define RETCON_SCENARIO_ARRIVALS_HPP
+
+#include <deque>
+
+#include "scenario/scenario.hpp"
+#include "sim/random.hpp"
+
+namespace retcon::scenario {
+
+class ArrivalSource
+{
+  public:
+    struct Next {
+        enum Kind {
+            Ready, ///< A request was popped; `at` is its arrival cycle.
+            Wait,  ///< Backlog empty; `at` is the next arrival cycle.
+            Done,  ///< All arrivals injected and drained.
+        } kind;
+        Cycle at;
+    };
+
+    /**
+     * @p total arrivals will be generated for this worker — the same
+     * request count the closed loop would have served, so open- and
+     * closed-loop runs stay size-comparable.
+     */
+    ArrivalSource(const Runtime &rt, std::uint64_t seed, unsigned tid,
+                  std::uint64_t total);
+
+    /** Materialize arrivals up to @p now, then pop or report. */
+    Next pull(Cycle now);
+
+    const Runtime::Stats &stats() const { return _stats; }
+    std::uint64_t backlog() const { return _backlog.size(); }
+
+  private:
+    const Runtime &_rt;
+    std::uint64_t _total;
+    std::uint64_t _generated = 0;
+    Cycle _nextArrival = 0;
+    Xoshiro _rng;
+    std::deque<Cycle> _backlog;
+    Runtime::Stats _stats;
+
+    void generateNext();
+};
+
+} // namespace retcon::scenario
+
+#endif // RETCON_SCENARIO_ARRIVALS_HPP

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The scenario mode table. Each row's setup hook derives its Plan
+ * deterministically from the Env — window offsets and victim picks
+ * come from a seed hash, sizes from the workload scale — and each
+ * update hook maps (plan, now) to the instantaneous drive state.
+ *
+ * Adding a scenario = adding one row here (docs/scenarios.md walks
+ * through it). Names are part of the CLI surface (`sweep_main
+ * --scenario NAME`) and the bench JSON schema, so renames are
+ * breaking changes.
+ */
+
+#include "scenario/scenario.hpp"
+
+namespace retcon::scenario {
+
+namespace {
+
+/** splitmix64: decorrelate the seed into per-knob draws. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+// ---- Update hooks ----------------------------------------------------
+
+void
+updateFlat(const Plan &, Cycle, Drive &)
+{
+    // Rate 1.0, no windows: closed loop and plain Poisson.
+}
+
+void
+updateBursty(const Plan &p, Cycle now, Drive &d)
+{
+    const ArrivalConfig &a = p.arrival;
+    Cycle on = static_cast<Cycle>(
+        static_cast<double>(a.period) * a.onFraction);
+    d.rateMult = (now % a.period) < on ? 1.0 / a.onFraction : a.offRate;
+}
+
+void
+updateDiurnal(const Plan &p, Cycle now, Drive &d)
+{
+    // Triangle wave: trough at phase 0, peak at period/2, back down.
+    const ArrivalConfig &a = p.arrival;
+    Cycle half = a.period / 2;
+    Cycle ph = now % a.period;
+    double frac = ph < half
+                      ? static_cast<double>(ph) / half
+                      : static_cast<double>(a.period - ph) / half;
+    d.rateMult = a.troughRate + (1.0 - a.troughRate) * frac;
+}
+
+void
+updateStall(const Plan &p, Cycle now, Drive &d)
+{
+    const FaultConfig &f = p.fault;
+    d.stallWindow =
+        windowActive(now, f.stallPeriod, f.stallLen, f.stallOffset);
+}
+
+// ---- Setup hooks -----------------------------------------------------
+
+void
+setupSteady(Plan &, const Env &)
+{
+    // The control row: the closed-loop stationary workload, run
+    // through the scenario machinery so the grid has a baseline.
+}
+
+void
+setupPoisson(Plan &p, const Env &env)
+{
+    p.arrival.kind = ArrivalKind::Poisson;
+    // Near the service rate: backlogs form and drain, few drops.
+    p.arrival.meanGap = 220.0 + mix(env.seed) % 40;
+    p.arrival.queueBound = 24;
+}
+
+void
+setupBursty(Plan &p, const Env &env)
+{
+    p.arrival.kind = ArrivalKind::Bursty;
+    // Bursts run ~3.3x the sustainable rate (1/onFraction), so the
+    // bound engages and tail-drops are expected — the burstiest
+    // registered shape, used for the audit negative control.
+    p.arrival.meanGap = 240.0;
+    p.arrival.period = 6000 + mix(env.seed ^ 1) % 1000;
+    p.arrival.onFraction = 0.3;
+    p.arrival.offRate = 0.1;
+    p.arrival.queueBound = 16;
+}
+
+void
+setupDiurnal(Plan &p, const Env &env)
+{
+    p.arrival.kind = ArrivalKind::Diurnal;
+    p.arrival.meanGap = 200.0;
+    p.arrival.period = 20000 + mix(env.seed ^ 2) % 4000;
+    p.arrival.troughRate = 0.2;
+    p.arrival.queueBound = 32;
+}
+
+void
+setupMixRotate(Plan &p, const Env &)
+{
+    p.shift.phases = 4;
+    p.shift.rotateMix = true;
+}
+
+void
+setupHotsetMigrate(Plan &p, const Env &)
+{
+    p.shift.phases = 4;
+    p.shift.migrateHotset = true;
+}
+
+void
+setupShardStall(Plan &p, const Env &env)
+{
+    FaultConfig &f = p.fault;
+    f.coreStall = true;
+    f.stallGroupMod = 4;
+    f.stallVictim =
+        static_cast<unsigned>(mix(env.seed ^ 3) % f.stallGroupMod);
+    f.stallPeriod = 8000;
+    f.stallLen = 1500;
+    f.stallOffset = mix(env.seed ^ 4) % f.stallPeriod;
+}
+
+void
+setupBankSlow(Plan &p, const Env &env)
+{
+    FaultConfig &f = p.fault;
+    f.bankSlow = true;
+    f.bankSliceMod = 16;
+    f.bankSliceVictim =
+        static_cast<unsigned>(mix(env.seed ^ 5) % f.bankSliceMod);
+    f.bankPeriod = 6000;
+    f.bankLen = 2400;
+    f.bankOffset = mix(env.seed ^ 6) % f.bankPeriod;
+    f.bankExtra = 40;
+}
+
+void
+setupLinkDegrade(Plan &p, const Env &env)
+{
+    // Open-loop base so the scenario is interesting even where the
+    // fault is inert (clusters == 1 has no interconnect).
+    setupPoisson(p, env);
+    FaultConfig &f = p.fault;
+    f.linkDegrade = true;
+    f.linkSelector = mix(env.seed ^ 7);
+    f.linkPeriod = 7000;
+    f.linkLen = 2800;
+    f.linkOffset = mix(env.seed ^ 8) % f.linkPeriod;
+    f.linkLatencyMult = 4;
+}
+
+void
+setupStorm(Plan &p, const Env &env)
+{
+    // Composition check: the burstiest arrivals, a rotating mix, and
+    // a stalling shard at once — the families are orthogonal by
+    // construction and this row keeps them that way.
+    setupBursty(p, env);
+    p.shift.phases = 4;
+    p.shift.rotateMix = true;
+    setupShardStall(p, env);
+}
+
+void
+updateStorm(const Plan &p, Cycle now, Drive &d)
+{
+    updateBursty(p, now, d);
+    updateStall(p, now, d);
+}
+
+const std::vector<Scenario> &
+table()
+{
+    static const std::vector<Scenario> rows = {
+        {"steady-closed",
+         "closed-loop stationary baseline (the pre-scenario workload)",
+         setupSteady, updateFlat},
+        {"poisson-open",
+         "open loop, exponential inter-arrival gaps near service rate",
+         setupPoisson, updateFlat},
+        {"bursty-onoff",
+         "open loop, on/off duty cycle; bursts overload the backlog "
+         "bound (tail drops expected)",
+         setupBursty, updateBursty},
+        {"diurnal-ramp",
+         "open loop, slow triangle ramp trough -> peak -> trough",
+         setupDiurnal, updateDiurnal},
+        {"mix-rotate",
+         "request-class mix rotates one class per quarter, phase "
+         "boundaries annotated",
+         setupMixRotate, updateFlat},
+        {"hotset-migrate",
+         "Zipfian hotset shifts a quarter of the key space per "
+         "quarter, phase boundaries annotated",
+         setupHotsetMigrate, updateFlat},
+        {"shard-stall",
+         "one shard slot's cores freeze for periodic windows",
+         setupShardStall, updateStall},
+        {"bank-slow",
+         "one directory bank's address slice runs at k-times "
+         "occupancy in periodic windows",
+         setupBankSlow, updateFlat},
+        {"link-degrade",
+         "one interconnect link at 4x hop latency in periodic "
+         "windows, over Poisson arrivals (link inert at 1 cluster)",
+         setupLinkDegrade, updateFlat},
+        {"storm",
+         "bursty arrivals + rotating mix + stalling shard composed",
+         setupStorm, updateStorm},
+    };
+    return rows;
+}
+
+} // namespace
+
+const char *
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Closed: return "closed";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+const std::vector<Scenario> &
+registry()
+{
+    return table();
+}
+
+const Scenario *
+scenarioByName(const std::string &name)
+{
+    for (const Scenario &s : registry())
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+} // namespace retcon::scenario

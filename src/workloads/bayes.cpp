@@ -37,7 +37,7 @@ class BayesWorkload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
         // Adjacency matrix (one word per cell) + per-variable scores.
         _adjBase = _alloc->allocShared(kVars * kVars * kWordBytes);
         _scoreBase = _alloc->allocShared(kVars * kBlockBytes);

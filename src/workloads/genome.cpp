@@ -43,7 +43,7 @@ class GenomeWorkload : public Workload
     setup(exec::Cluster &cluster) override
     {
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
         // Fixed variant: provisioned for the workload; resizable
         // variant: starts small and grows (the paper's "-sz").
         Word buckets = _resizable ? 1024 : 2048;

@@ -54,7 +54,7 @@ class IntruderWorkload : public Workload
         unsigned nt = cluster.numThreads();
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(kHeapBase,
-                                                    kArenaBytes, nt);
+                                                    _p.arena(), nt);
         bool shared_queues = _variant == IntruderVariant::Base;
         unsigned nqueues = shared_queues ? 1 : nt;
         for (unsigned q = 0; q < nqueues; ++q) {

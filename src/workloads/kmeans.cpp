@@ -39,7 +39,7 @@ class KmeansWorkload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
 
         // Point coordinates (read-only during the run).
         Xoshiro rng(_p.seed * 77 + 5);

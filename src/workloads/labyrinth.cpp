@@ -37,7 +37,7 @@ class LabyrinthWorkload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
         _grid = ds::SimGrid::create(mem, *_alloc, 32, 32, 3);
 
         // Pre-plan the routes deterministically: route r is a walk of

@@ -51,7 +51,7 @@ class PythonWorkload : public Workload
         auto &mem = cluster.memory();
         unsigned nt = cluster.numThreads();
         _alloc = std::make_unique<ds::SimAllocator>(kHeapBase,
-                                                    kArenaBytes, nt);
+                                                    _p.arena(), nt);
 
         // Shared singletons (small ints, interned strings, ...).
         _objects.clear();

@@ -43,8 +43,12 @@
  * still queued, by count and by payload sum).
  */
 
+#include <optional>
+
 #include "ds/hashtable.hpp"
 #include "ds/queue.hpp"
+#include "scenario/arrivals.hpp"
+#include "scenario/scenario.hpp"
 #include "workloads/workload.hpp"
 
 using retcon::exec::Task;
@@ -84,7 +88,7 @@ class ServiceWorkload : public Workload
         // A cluster's allocator spans one arena per (fleet-wide)
         // thread plus the shared setup arena; regions must not
         // overlap or one cluster's nodes clobber another's state.
-        sim_assert((cluster.numThreads() + 1) * kArenaBytes <=
+        sim_assert((cluster.numThreads() + 1) * _p.arena() <=
                        net::kClusterRegionBytes,
                    "cluster heap region too small for %u thread arenas",
                    cluster.numThreads());
@@ -101,7 +105,7 @@ class ServiceWorkload : public Workload
         _prefillSum = 0;
         for (unsigned cl = 0; cl < _clusters; ++cl) {
             _allocs.push_back(std::make_unique<ds::SimAllocator>(
-                net::FleetTopology::regionBase(cl), kArenaBytes,
+                net::FleetTopology::regionBase(cl), _p.arena(),
                 cluster.numThreads()));
             ds::SimAllocator &alloc = *_allocs.back();
 
@@ -390,24 +394,85 @@ class ServiceWorkload : public Workload
         unsigned home = tid / (nt / _clusters); ///< Cluster-contiguous.
         Word lo = _requests * tid / nt;
         Word hi = _requests * (tid + 1) / nt;
+        Word span = hi - lo;
         Zipfian zipf(_keys);
         Word nextSession = 0;
-        Word phase = 0; ///< Last quarter annotated (0 = none yet).
+        Word phase = 0; ///< Last phase/quarter annotated (0 = none).
 
-        for (Word t = lo; t < hi; ++t) {
-            // Phase marks: split this worker's request range into
-            // quarters (ids 1..4). Annotation-only — consumes no
-            // randomness and no simulated time, so runs with the flag
-            // off are bit-identical to runs that never had it.
-            if (_p.annotatePhases) {
-                Word q = 1 + (t - lo) * 4 / (hi - lo);
+        // Scenario drive (src/scenario/): null plan = the stationary
+        // closed loop, bit-identical to pre-scenario behaviour (no
+        // extra draws, no extra waits). Open-loop plans replace the
+        // closed loop's think-time gap with a modeled arrival queue;
+        // shift plans rotate the mix / migrate the hotset per phase;
+        // the core-stall fault freezes victim cores through its
+        // windows. All of it is a function of (seed, cycle, tid).
+        scenario::Runtime *rt = _p.scenario;
+        const scenario::Plan *plan = rt ? &rt->plan() : nullptr;
+        bool openLoop = plan && plan->arrival.open();
+        unsigned phases =
+            plan && plan->shift.phases > 1 ? plan->shift.phases : 0;
+        bool stalls = rt && rt->stallsCore(tid);
+        scenario::Runtime::Stats wstats;
+        std::optional<scenario::ArrivalSource> src;
+        if (openLoop)
+            src.emplace(*rt, _p.seed, tid, span);
+
+        Word served = 0;
+        while (true) {
+            // A stalled core sleeps through the fault window before
+            // touching its queue — arrivals pile up behind it exactly
+            // like behind a hung shard.
+            if (stalls) {
+                Cycle w = rt->stallWait(ctx.now());
+                if (w > 0) {
+                    ++wstats.stallHits;
+                    wstats.stallCycles += w;
+                    co_await ctx.work(w);
+                }
+            }
+            if (openLoop) {
+                auto nx = src->pull(ctx.now());
+                if (nx.kind == scenario::ArrivalSource::Next::Done)
+                    break;
+                if (nx.kind == scenario::ArrivalSource::Next::Wait) {
+                    co_await ctx.work(nx.at - ctx.now());
+                    continue;
+                }
+            } else if (served == span) {
+                break;
+            }
+            Word t = lo + served;
+            Word idx = served;
+            ++served;
+            // Phase marks. Scenario shift phases take precedence over
+            // the legacy --annotate-phases quarters; both split the
+            // worker's request slots evenly and annotate boundaries
+            // with ids 1..N. Annotation-only in the legacy/stationary
+            // case — consumes no randomness and no simulated time, so
+            // runs with the flag off are bit-identical to runs that
+            // never had it.
+            Word curPhase = 0;
+            if (phases != 0) {
+                curPhase = idx * phases / span;
+                Word q = curPhase + 1;
+                if (q != phase) {
+                    ctx.annotate(q);
+                    ++wstats.phaseMarks;
+                    phase = q;
+                }
+            } else if (_p.annotatePhases) {
+                Word q = 1 + idx * 4 / span;
                 if (q != phase) {
                     ctx.annotate(q);
                     phase = q;
                 }
             }
             Word key = zipf.next(ctx.rng());
+            if (plan && plan->shift.migrateHotset && curPhase != 0)
+                key = (key + curPhase * (_keys / phases)) % _keys;
             Word op = ctx.rng().below(100);
+            if (plan && plan->shift.rotateMix && curPhase != 0)
+                op = rotateOpClass(op, curPhase);
             if (op < 55) {
                 ++_viewOps;
                 unsigned stripe = stripeOf(tid);
@@ -444,13 +509,41 @@ class ServiceWorkload : public Workload
                     _deqSum += got.concrete() - 1;
                 }
             }
-            // Inter-request gap: a loaded server turns requests
-            // around with little idle time, so sustained event demand
-            // stays near the dispatch limit the scalability bench
-            // models (bench/service_scalability.cpp).
-            co_await ctx.work(ctx.rng().range(20, 60));
+            // Inter-request gap (closed loop only): a loaded server
+            // turns requests around with little idle time, so
+            // sustained event demand stays near the dispatch limit
+            // the scalability bench models. Open-loop workers are
+            // paced by the arrival process instead.
+            if (!openLoop)
+                co_await ctx.work(ctx.rng().range(20, 60));
+        }
+        if (rt) {
+            rt->recordWorker(wstats);
+            if (src)
+                rt->recordWorker(src->stats());
         }
         co_await ctx.barrier();
+    }
+
+    /**
+     * Rotate the request-class mix by @p phase classes: the draw
+     * keeps its base-mix share boundaries (55/25/12/8), but which
+     * operation owns which share shifts — e.g. phase 1 gives the
+     * view share to dequeues. Bijective on draws, so a fixed seed
+     * serves the same request slots with a shifted mix.
+     */
+    static Word
+    rotateOpClass(Word op, Word phase)
+    {
+        static constexpr Word kBase[4] = {0, 55, 80, 92};
+        static constexpr Word kWidth[4] = {55, 25, 12, 8};
+        unsigned cls = op < 55 ? 0 : op < 80 ? 1 : op < 92 ? 2 : 3;
+        auto target = static_cast<unsigned>((cls + phase) % 4);
+        // Map into the target class's band, clamped to its width.
+        Word within = op - kBase[cls];
+        if (within >= kWidth[target])
+            within = kWidth[target] - 1;
+        return kBase[target] + within;
     }
 };
 

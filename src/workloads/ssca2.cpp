@@ -39,7 +39,7 @@ class Ssca2Workload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes * 4, cluster.numThreads());
+            kHeapBase, _p.arena() * 4, cluster.numThreads());
         // Node record: [0] degree, [1..kMaxDegree] edge slots. One
         // block per node: the footprint (8192 blocks = 512KB+) busts
         // the L1 and thrashes the L2.

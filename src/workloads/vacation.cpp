@@ -54,7 +54,7 @@ class VacationWorkload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
 
         // Resource records: [0] availability, packed 8 per block
         // (false sharing by design, as in the original allocation

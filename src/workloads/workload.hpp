@@ -23,7 +23,14 @@
 #include "ds/sim_alloc.hpp"
 #include "exec/cluster.hpp"
 
+namespace retcon::scenario {
+class Runtime;
+}
+
 namespace retcon::workloads {
+
+/** Default per-thread allocation arena (WorkloadParams::arena). */
+inline constexpr Addr kDefaultArenaBytes = 6 * 1024 * 1024;
 
 /** Sizing/seeding knobs shared by all workloads. */
 struct WorkloadParams {
@@ -72,6 +79,32 @@ struct WorkloadParams {
      */
     bool annotatePhases = false;
 
+    /**
+     * Active scenario runtime (src/scenario/), or null for the plain
+     * stationary run. Honoured by the `service` workload: open-loop
+     * arrival pacing, mid-run mix/hotset shifts, and the core-stall
+     * fault all read their plan through this. The Table 2 set ignores
+     * it. Non-owning; api::runOnce owns the runtime for the run.
+     */
+    scenario::Runtime *scenario = nullptr;
+
+    /**
+     * Per-thread allocation arena bytes; 0 = the 6 MiB default
+     * (Workload::kArenaBytes). api::runOnce widens this under DATM —
+     * forwarding cascades leak one arena bump per aborted attempt by
+     * design (ds::SimAllocator), so DATM needs more headroom per
+     * thread to cover the same workload scale. Clamped by callers so
+     * (nthreads + 1) arenas fit a cluster heap region.
+     */
+    Addr arenaBytes = 0;
+
+    /** Effective arena size (the default unless overridden). */
+    Addr
+    arena() const
+    {
+        return arenaBytes != 0 ? arenaBytes : kDefaultArenaBytes;
+    }
+
     /** Scaled size helper: max(min_value, round(base * scale)). */
     Word
     scaled(Word base, Word min_value = 1) const
@@ -108,7 +141,7 @@ class Workload
   protected:
     /** Shared allocator placement for all workloads. */
     static constexpr Addr kHeapBase = 0x10000000;
-    static constexpr Addr kArenaBytes = 6 * 1024 * 1024;
+    static constexpr Addr kArenaBytes = kDefaultArenaBytes;
 };
 
 /** Construct a workload by Table 2 name; fatal() on unknown names. */

@@ -39,7 +39,7 @@ class YadaWorkload : public Workload
     {
         auto &mem = cluster.memory();
         _alloc = std::make_unique<ds::SimAllocator>(
-            kHeapBase, kArenaBytes, cluster.numThreads());
+            kHeapBase, _p.arena(), cluster.numThreads());
         Xoshiro rng(_p.seed * 313 + 11);
         _mesh = ds::SimMesh::create(mem, *_alloc, _meshNodes, 40, rng);
         // Shared worklist cursor: every refinement claims its seed

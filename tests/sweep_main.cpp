@@ -4,7 +4,20 @@
 // Usage: sweep_main [--quick] [--audit] [--shards N] [--mem-banks N]
 //                   [--backoff P] [--clusters N] [--xc-fraction F]
 //                   [--host-threads N] [--annotate-phases]
+//                   [--scenario NAME|all] [--list-scenarios]
 //                   [scale] [nthreads] [workload]
+//   --scenario NAME|all
+//                 sweep scenarios instead of workloads: each row is one
+//                 registered scenario (scenario/scenario.hpp) driving
+//                 the service workload under every machine config.
+//                 Unknown names exit non-zero. The sweep fails if any
+//                 scenario was vacuous — an open-loop scenario that
+//                 injected nothing, a fault scenario whose fault never
+//                 fired, or an arrival ledger that does not conserve
+//                 (injected == completed + dropped).
+//   --list-scenarios
+//                 print the scenario registry (name + description) and
+//                 exit.
 //   --annotate-phases
 //                 emit per-phase user-mark annotations in the service
 //                 workload (each worker marks its request-range
@@ -60,6 +73,7 @@
 //   --trace-keep  keep the streamed .rtt files on disk (for the CI
 //                 corruption negative control and manual
 //                 retcon-query sessions).
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -72,39 +86,27 @@
 #include <thread>
 #include <vector>
 
+#include "api/datm_envelope.hpp"
 #include "api/runner.hpp"
 #include "query/replay.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace retcon;
 
 namespace {
 
-/**
- * The probed support envelope of the microbench-grade DATM mode.
- * DATM's cascading aborts multiply the abort count far beyond the
- * other modes, which breaks workloads in two ways outside these
- * bounds: every aborted attempt leaks its arena bump advance by
- * design (ds/sim_alloc.hpp), so unoptimized intruder (scale > 0.1)
- * and service (scale > 0.5) exhaust their per-thread arenas; and
- * yada's cascade storms stop converging inside the cycle bound
- * beyond tiny inputs. The python interpreter mix livelocks at any
- * scale — its long refcount transactions forward constantly and
- * cascade-abort each other indefinitely. A fleet makes the cascades
- * strictly worse for the borderline pair: interconnect latency
- * stretches every transaction, so intruder/yada's abort storms leak
- * arenas at any scale once clusters > 1.
- */
-bool
-datmUnsupported(const std::string &name, double scale,
-                unsigned clusters)
+void
+usage(const char *argv0)
 {
-    if (name.rfind("python", 0) == 0)
-        return true;
-    if (name == "intruder" || name == "yada")
-        return clusters > 1 || scale > 0.1;
-    if (name == "service")
-        return scale > 0.5;
-    return false;
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick] [--audit] [--shards N] [--mem-banks N]\n"
+        "          [--backoff none|linear|exp|prop] [--clusters N]\n"
+        "          [--xc-fraction F] [--host-threads N]\n"
+        "          [--annotate-phases] [--trace-out PREFIX]\n"
+        "          [--trace-keep] [--scenario NAME|all]\n"
+        "          [--list-scenarios] [scale] [nthreads] [workload]\n",
+        argv0);
 }
 
 void
@@ -262,13 +264,25 @@ main(int argc, char **argv)
     htm::BackoffPolicy backoff = htm::BackoffPolicy::None;
     const char *trace_out = nullptr;
     bool trace_keep = false;
+    const char *scenario_arg = nullptr;
     double scale = 0.25;
     unsigned nthreads = 8;
     const char *only = nullptr;
 
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
+        if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+            for (const scenario::Scenario &s : scenario::registry())
+                std::printf("%-16s %s\n", s.name, s.description);
+            return 0;
+        } else if (std::strcmp(argv[i], "--scenario") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--scenario requires a name or 'all'\n");
+                return 1;
+            }
+            scenario_arg = argv[++i];
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--audit") == 0) {
             audit = true;
@@ -325,14 +339,25 @@ main(int argc, char **argv)
                 return 1;
             }
             backoff = htm::backoffPolicyFromName(argv[++i]);
+        } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+            // An unrecognized --flag must never be silently consumed
+            // as a positional (a typo would quietly change the sweep).
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            usage(argv[0]);
+            return 1;
         } else if (positional == 0) {
             scale = std::atof(argv[i]);
             ++positional;
         } else if (positional == 1) {
             nthreads = static_cast<unsigned>(std::atoi(argv[i]));
             ++positional;
-        } else {
+        } else if (positional == 2) {
             only = argv[i];
+            ++positional;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+            usage(argv[0]);
+            return 1;
         }
     }
     // --quick sets CI-sized defaults but never overrides explicitly
@@ -366,6 +391,27 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--trace-out requires --audit\n");
         return 1;
     }
+    std::vector<std::string> scenario_names;
+    if (scenario_arg) {
+        if (only) {
+            std::fprintf(stderr,
+                         "--scenario fixes the workload to 'service'; "
+                         "drop the workload argument\n");
+            return 1;
+        }
+        if (std::strcmp(scenario_arg, "all") == 0) {
+            for (const scenario::Scenario &s : scenario::registry())
+                scenario_names.push_back(s.name);
+        } else if (scenario::scenarioByName(scenario_arg) != nullptr) {
+            scenario_names.push_back(scenario_arg);
+        } else {
+            std::fprintf(stderr,
+                         "unknown scenario '%s' (--list-scenarios "
+                         "prints the registry)\n",
+                         scenario_arg);
+            return 1;
+        }
+    }
 
     if (shards > 1)
         std::printf("event queue sharded %u ways\n", shards);
@@ -397,11 +443,23 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     std::vector<std::function<void()>> tasks;
-    for (const auto &name : workloads::extendedWorkloadNames()) {
-        if (only && name != only)
-            continue;
-        rows.push_back(Row{name, 0, 0.0,
-                           std::vector<Cell>(configs.size())});
+    if (scenario_arg) {
+        // Scenario mode: each row is one registered scenario driving
+        // the service workload; the row name is the scenario name.
+        std::printf("scenario sweep: %zu scenario%s x service "
+                    "workload\n",
+                    scenario_names.size(),
+                    scenario_names.size() == 1 ? "" : "s");
+        for (const std::string &sn : scenario_names)
+            rows.push_back(Row{sn, 0, 0.0,
+                               std::vector<Cell>(configs.size())});
+    } else {
+        for (const auto &name : workloads::extendedWorkloadNames()) {
+            if (only && name != only)
+                continue;
+            rows.push_back(Row{name, 0, 0.0,
+                               std::vector<Cell>(configs.size())});
+        }
     }
     if (rows.empty()) {
         std::fprintf(stderr, "no workload matched '%s'\n",
@@ -410,7 +468,9 @@ main(int argc, char **argv)
     }
     for (Row &row : rows) {
         api::RunConfig base;
-        base.workload = row.name;
+        base.workload = scenario_arg ? "service" : row.name;
+        if (scenario_arg)
+            base.scenario = row.name;
         base.nthreads = nthreads;
         base.scale = scale;
         base.shards = shards;
@@ -431,7 +491,7 @@ main(int argc, char **argv)
         for (std::size_t k = 0; k < configs.size(); ++k) {
             Cell &cell = row.cells[k];
             if (configs[k].tm.mode == htm::TMMode::DATM &&
-                datmUnsupported(row.name, scale, clusters)) {
+                !api::datmSupported(base.workload, scale, clusters)) {
                 cell.supported = false;
                 continue;
             }
@@ -538,6 +598,109 @@ main(int argc, char **argv)
             net_queue_cycles += r.net.queueCycles;
             row_wall_ms += cell.wallMs;
         }
+        std::string scen_note;
+        if (scenario_arg) {
+            // Engagement checks: re-derive the row's plan (setup is a
+            // pure function of the env) and fail the sweep if any
+            // declared scenario mechanism never fired — a vacuous
+            // scenario passing silently is the failure mode this
+            // sweep exists to catch.
+            const scenario::Scenario *sc =
+                scenario::scenarioByName(row.name);
+            scenario::Plan plan;
+            scenario::Env env;
+            env.seed = api::RunConfig{}.seed; // sweep keeps the default
+            env.scale = scale;
+            env.nthreads = nthreads * clusters;
+            env.clusters = clusters;
+            sc->setup(plan, env);
+            api::ScenarioSummary sum;
+            for (const Cell &cell : row.cells) {
+                if (!cell.supported)
+                    continue;
+                const api::ScenarioSummary &s = cell.r.scenario;
+                if (s.injected != s.completed + s.dropped) {
+                    ok = false;
+                    appendf(line,
+                            " (ARRIVAL LEDGER: %llu injected != %llu "
+                            "completed + %llu dropped)",
+                            (unsigned long long)s.injected,
+                            (unsigned long long)s.completed,
+                            (unsigned long long)s.dropped);
+                }
+                sum.injected += s.injected;
+                sum.completed += s.completed;
+                sum.dropped += s.dropped;
+                sum.peakBacklog =
+                    std::max(sum.peakBacklog, s.peakBacklog);
+                sum.latencySum += s.latencySum;
+                sum.latencyMax = std::max(sum.latencyMax, s.latencyMax);
+                sum.phaseMarks += s.phaseMarks;
+                sum.stallHits += s.stallHits;
+                sum.stallCycles += s.stallCycles;
+                sum.bankFaultStalls += s.bankFaultStalls;
+                sum.bankFaultCycles += s.bankFaultCycles;
+                sum.linkFaultMessages += s.linkFaultMessages;
+                sum.linkFaultCycles += s.linkFaultCycles;
+            }
+            if (plan.arrival.open()) {
+                appendf(scen_note,
+                        "  arrivals: %llu injected, %llu completed, "
+                        "%llu dropped, peak backlog %llu, mean wait "
+                        "%.1f cyc\n",
+                        (unsigned long long)sum.injected,
+                        (unsigned long long)sum.completed,
+                        (unsigned long long)sum.dropped,
+                        (unsigned long long)sum.peakBacklog,
+                        sum.completed ? double(sum.latencySum) /
+                                            double(sum.completed)
+                                      : 0.0);
+                if (sum.injected == 0) {
+                    ok = false;
+                    appendf(line, " (SCENARIO VACUOUS: open-loop "
+                                  "arrivals never injected)");
+                }
+            }
+            if (plan.shift.phases > 1 && sum.phaseMarks == 0) {
+                ok = false;
+                appendf(line, " (SCENARIO VACUOUS: no phase shift "
+                              "annotations)");
+            }
+            if (plan.fault.coreStall) {
+                appendf(scen_note,
+                        "  core stall: %llu windows, %llu cycles\n",
+                        (unsigned long long)sum.stallHits,
+                        (unsigned long long)sum.stallCycles);
+                if (sum.stallHits == 0) {
+                    ok = false;
+                    appendf(line, " (SCENARIO VACUOUS: core-stall "
+                                  "fault never fired)");
+                }
+            }
+            if (plan.fault.bankSlow) {
+                appendf(scen_note,
+                        "  bank fault: %llu stalls, %llu cycles\n",
+                        (unsigned long long)sum.bankFaultStalls,
+                        (unsigned long long)sum.bankFaultCycles);
+                if (sum.bankFaultCycles == 0) {
+                    ok = false;
+                    appendf(line, " (SCENARIO VACUOUS: bank fault "
+                                  "never fired)");
+                }
+            }
+            if (plan.fault.linkDegrade && clusters > 1) {
+                appendf(scen_note,
+                        "  link fault: %llu messages, %llu extra "
+                        "cycles\n",
+                        (unsigned long long)sum.linkFaultMessages,
+                        (unsigned long long)sum.linkFaultCycles);
+                if (sum.linkFaultMessages == 0) {
+                    ok = false;
+                    appendf(line, " (SCENARIO VACUOUS: link fault "
+                                  "never touched a message)");
+                }
+            }
+        }
         if (backoff == htm::BackoffPolicy::None && backoff_cycles != 0) {
             // The off switch must really be off (bit-identical runs).
             appendf(line, " (BACKOFF LEAK)");
@@ -547,6 +710,8 @@ main(int argc, char **argv)
                 (unsigned long long)backoff_cycles, row_wall_ms,
                 ok ? "yes" : "NO");
         std::fputs(line.c_str(), stdout);
+        if (!scen_note.empty())
+            std::fputs(scen_note.c_str(), stdout);
         all_ok = all_ok && ok;
     }
     if (clusters > 1) {
@@ -579,7 +744,17 @@ main(int argc, char **argv)
                         (unsigned long long)chains_skipped);
             all_ok = false;
         }
-        if (!only && chains_validated == 0) {
+        // The chain audit can only be vacuous if a DATM cell actually
+        // ran: a sweep whose every DATM point sits outside the support
+        // envelope (e.g. scenarios at full scale) has no chains to
+        // re-derive by construction.
+        bool datm_ran = false;
+        for (const Row &row : rows)
+            for (std::size_t k = 0; k < configs.size(); ++k)
+                if (configs[k].tm.mode == htm::TMMode::DATM &&
+                    row.cells[k].supported)
+                    datm_ran = true;
+        if (!only && datm_ran && chains_validated == 0) {
             std::printf("FAIL: no forwarded commits were re-derived — "
                         "the DATM chain audit was vacuous\n");
             all_ok = false;

@@ -145,6 +145,37 @@ def check_service(base, fresh, tol, host_tol, rep):
                      f"{delta:+.1%} (tolerance +/-{tol:.0%})")
     for xc in sorted(set(fresh_fleet) - set(base_fleet)):
         rep.line(f"  note: new fleet point xc={xc:.2f} has no baseline")
+    # Scenario axis (docs/scenarios.md): one point per registered
+    # scenario at the top scale-up config. Throughput sits in the
+    # deterministic two-sided band; the arrival ledger fields are
+    # exact simulated counters, so any drift at all means traffic-shape
+    # behaviour changed and the baseline must be regenerated.
+    base_scen = {p.get("scenario"): p
+                 for p in base.get("scenario_points", [])}
+    fresh_scen = {p.get("scenario"): p
+                  for p in fresh.get("scenario_points", [])}
+    for name, bp in sorted(base_scen.items()):
+        fp = fresh_scen.get(name)
+        label = f"scenario {name}"
+        if fp is None:
+            rep.fail(f"service point {label} missing from fresh run")
+            continue
+        b, f = bp["commits_per_kcycle"], fp["commits_per_kcycle"]
+        delta = (f - b) / b if b else 0.0
+        verdict = "ok" if abs(delta) <= tol else (
+            "REGRESSED" if delta < 0 else "CHANGED (update baseline)")
+        rep.line(f"  {label}: {b:.4f} -> {f:.4f} commits/kcycle "
+                 f"({delta:+.1%}) {verdict}")
+        if verdict != "ok":
+            rep.fail(f"service throughput at {label} changed "
+                     f"{delta:+.1%} (tolerance +/-{tol:.0%})")
+        for field in ("injected", "completed", "dropped"):
+            bv, fv = bp.get(field), fp.get(field)
+            if bv is not None and fv is not None and bv != fv:
+                rep.fail(f"{label} {field} changed {bv} -> {fv} "
+                         f"(deterministic arrival ledger)")
+    for name in sorted(set(fresh_scen) - set(base_scen)):
+        rep.line(f"  note: new scenario point {name} has no baseline")
     bg, fg = base.get("throughput_gain"), fresh.get("throughput_gain")
     if bg is not None and fg is not None and bg > 0:
         delta = (fg - bg) / bg
